@@ -1,0 +1,60 @@
+"""Shared infrastructure for the figure/table regeneration harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation and
+asserts its qualitative shape.  Closed-loop runs are memoised in a
+session-scoped cache so figures that share runs (e.g. Figs. 6.3 and 6.5
+both need Templerun) do not recompute them, and rendered artefacts are
+written to ``benchmarks/artifacts/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import run_benchmark
+from repro.sim.models import ModelBundle, build_models
+from repro.sim.run_result import RunResult
+from repro.workloads.benchmarks import get_benchmark
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+@pytest.fixture(scope="session")
+def models() -> ModelBundle:
+    """The characterized + identified model bundle (one per session)."""
+    return build_models()
+
+
+class RunCache:
+    """Memoised (benchmark, mode) -> RunResult closed-loop runs."""
+
+    def __init__(self, models: ModelBundle) -> None:
+        self.models = models
+        self._cache: Dict[Tuple[str, ThermalMode], RunResult] = {}
+
+    def get(self, benchmark_name: str, mode: ThermalMode) -> RunResult:
+        key = (benchmark_name, mode)
+        if key not in self._cache:
+            self._cache[key] = run_benchmark(
+                get_benchmark(benchmark_name), mode, models=self.models
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def runs(models) -> RunCache:
+    """Session-wide run cache."""
+    return RunCache(models)
+
+
+def save_artifact(name: str, content: str) -> str:
+    """Write a rendered table/figure under benchmarks/artifacts/."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, name)
+    with open(path, "w") as fh:
+        fh.write(content + "\n")
+    return path

@@ -1,0 +1,51 @@
+"""Ablation: predictor guard band (act-early margin).
+
+The DTPM flags a violation when the prediction comes within the guard
+band of the constraint.  Zero band reacts exactly at the limit (largest
+overshoot); a wide band is safe but throttles needlessly.  The default
+0.75 K sits between.
+"""
+
+from conftest import save_artifact
+
+from repro.analysis.tables import render_table
+from repro.sim.sweep import sweep_guard_band
+from repro.workloads.benchmarks import FFT
+
+
+def test_ablation_guard_band(models, benchmark):
+    bands = [0.0, 0.75, 2.5]
+    points = benchmark.pedantic(
+        lambda: sweep_guard_band(FFT, bands, models),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        ["guard band (K)", "peak (C)", "overshoot (C)", "time (s)",
+         "avg power (W)", "interventions"],
+        [
+            [
+                "%.2f" % p.value,
+                "%.1f" % p.peak_c,
+                "%.1f" % p.overshoot_c,
+                "%.1f" % p.execution_time_s,
+                "%.2f" % p.average_power_w,
+                "%d" % p.interventions,
+            ]
+            for p in points
+        ],
+        title="Ablation: predictor guard band (FFT, 63 degC constraint)",
+    )
+    save_artifact("ablation_guard_band.txt", table)
+    print("\n" + table)
+
+    none, default, wide = points
+    # wider band -> never more overshoot
+    assert wide.overshoot_c <= default.overshoot_c + 0.3
+    assert default.overshoot_c <= none.overshoot_c + 0.3
+    # wider band -> acts at least as often / as early
+    assert wide.interventions >= default.interventions - 50
+    # and every setting completes with bounded overshoot
+    for p in points:
+        assert p.result.completed
+        assert p.overshoot_c < 4.0

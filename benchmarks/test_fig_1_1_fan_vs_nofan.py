@@ -1,0 +1,57 @@
+"""Fig. 1.1: maximum core temperature with and without the fan.
+
+A sustained heavy workload (the multi-threaded matrix multiplication run
+long, as in the introduction's motivating trace) is executed for 350 s with
+the stock fan-cooled configuration and again with the fan disabled.  The
+paper's shape: without the fan the temperature runs away past 80 degC and
+keeps climbing, while the fan holds a bounded band in the low 60s.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_timeseries
+from repro.sim.engine import Simulator, ThermalMode
+from repro.workloads.multithreaded import matrix_mult_mt
+
+
+def _run(mode):
+    workload = matrix_mult_mt(threads=4, duration_s=400.0)
+    sim = Simulator(
+        workload, mode, warm_start_c=40.0, max_duration_s=350.0
+    )
+    return sim.run()
+
+
+def test_fig_1_1(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "without fan": _run(ThermalMode.NO_FAN),
+            "with fan": _run(ThermalMode.DEFAULT_WITH_FAN),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    no_fan, fan = results["without fan"], results["with fan"]
+    figure = ascii_timeseries(
+        {
+            "without fan": (no_fan.times_s(), no_fan.max_temps_c()),
+            "with fan": (fan.times_s(), fan.max_temps_c()),
+        },
+        title="Fig 1.1: Maximum core temperature with and without the fan",
+        y_label="degC",
+    )
+    save_artifact("fig_1_1_fan_vs_nofan.txt", figure)
+    print("\n" + figure)
+
+    # Without the fan the temperature runs away well past the fan band...
+    assert no_fan.peak_temp_c() > 72.0
+    # ...and is still climbing at the end of the 350 s window.
+    tail = no_fan.max_temps_c()
+    assert tail[-1] >= tail[-600] - 0.5
+    # The fan bounds the temperature in a limit cycle near its thresholds.
+    assert fan.peak_temp_c() < 69.0
+    settled = fan.max_temps_c()[fan.settle_slice(120.0)]
+    assert settled.max() - settled.min() < 12.0
+    # the separation the paper's figure shows (~20 degC at the end)
+    assert no_fan.max_temps_c()[-1] - fan.max_temps_c()[-1] > 8.0

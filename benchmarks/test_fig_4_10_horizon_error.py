@@ -1,0 +1,59 @@
+"""Fig. 4.10: average prediction error vs prediction horizon (Templerun).
+
+Shape: error grows with the horizon -- below ~1 degC (3 %) at 1 s, rising
+moderately out to 5 s (the paper reads ~7 % / 2.5 degC at 5 s).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_bars
+from repro.sim.engine import Simulator, ThermalMode
+from repro.thermal.validation import error_vs_horizon
+from repro.workloads.benchmarks import TEMPLERUN
+
+
+def _collect():
+    sim = Simulator(TEMPLERUN, ThermalMode.NO_FAN, max_duration_s=150.0)
+    result = sim.run()
+    temps = np.stack(
+        [result.trace.column("temp%d_c" % i) for i in range(4)], axis=1
+    ) + 273.15
+    powers = np.stack(
+        [
+            result.trace.column("p_big_w"),
+            result.trace.column("p_little_w"),
+            result.trace.column("p_gpu_w"),
+            result.trace.column("p_mem_w"),
+        ],
+        axis=1,
+    )
+    return temps, powers
+
+
+def test_fig_4_10(models, benchmark):
+    temps, powers = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    horizons = [1, 5, 10, 20, 30, 40, 50]  # 0.1 s .. 5 s
+    reports = error_vs_horizon(models.thermal, temps, powers, horizons)
+
+    bars = ascii_bars(
+        {
+            "%.1f s" % reports[h].horizon_s: reports[h].mean_pct
+            for h in horizons
+        },
+        title="Fig 4.10: Average temperature prediction error vs horizon (Templerun)",
+        unit="%",
+    )
+    save_artifact("fig_4_10_horizon_error.txt", bars)
+    print("\n" + bars)
+    for h in horizons:
+        print("  " + str(reports[h]))
+
+    # monotone-ish growth with horizon
+    errors = [reports[h].mean_abs_c for h in horizons]
+    assert errors[0] < errors[-1]
+    assert all(b >= a - 0.05 for a, b in zip(errors, errors[1:]))
+    # anchor points of the paper's curve
+    assert reports[10].mean_abs_c < 1.0  # 1 s: < ~1 degC / 3 %
+    assert reports[10].mean_pct < 3.0
+    assert reports[50].mean_pct < 8.0  # 5 s: error grows but stays moderate

@@ -1,0 +1,67 @@
+"""Figs. 4.2 / 4.3: furnace power measurements and the fitted leakage curve.
+
+Fig. 4.2 plots total CPU power at each furnace setpoint (40..80 degC);
+Fig. 4.3 the resulting leakage-vs-temperature model.  Shape to reproduce:
+total power rises monotonically with furnace temperature at fixed (f, Vdd),
+and the fitted leakage grows super-linearly, roughly 3-4x over the sweep.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_bars
+from repro.platform.specs import Resource
+from repro.power.characterization import FurnaceRig
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    rig = FurnaceRig(soak_s=60.0, measure_s=30.0)
+    return rig, rig.characterize()
+
+
+def test_fig_4_2_total_power_vs_furnace_temp(characterization, benchmark):
+    rig, result = characterization
+    points = benchmark.pedantic(
+        lambda: result.points_big_session, rounds=3, iterations=1
+    )
+    bars = ascii_bars(
+        {"%.0f degC" % p.setpoint_c: float(p.powers_w[0]) for p in points},
+        title="Fig 4.2: Total big-cluster power from the furnace sweep",
+        unit="W",
+    )
+    save_artifact("fig_4_2_furnace_power.txt", bars)
+    print("\n" + bars)
+
+    powers = [float(p.powers_w[0]) for p in points]
+    assert all(b > a for a, b in zip(powers, powers[1:]))
+    # the spread is leakage: meaningful but not dominating (light workload)
+    assert 0.10 < powers[-1] - powers[0] < 0.5
+
+
+def test_fig_4_3_leakage_vs_temperature(characterization, benchmark):
+    rig, result = characterization
+    model = result.leakage_models()[Resource.BIG]
+    vdd = rig.spec.big_opp.voltage(rig.spec.big_opp.f_min_hz)
+    temps_c = list(range(40, 85, 5))
+    curve = benchmark.pedantic(
+        lambda: [model.power_w(c2k(t), vdd) for t in temps_c],
+        rounds=3,
+        iterations=1,
+    )
+    bars = ascii_bars(
+        {"%d degC" % t: p for t, p in zip(temps_c, curve)},
+        title="Fig 4.3: Fitted leakage power vs temperature (big cluster)",
+        unit="W",
+    )
+    save_artifact("fig_4_3_leakage_curve.txt", bars)
+    print("\n" + bars)
+
+    # monotone and super-linear: each 10 degC step adds more than the last
+    assert all(b > a for a, b in zip(curve, curve[1:]))
+    increments = np.diff(curve[::2])  # per-10-degC steps
+    assert all(b > a for a, b in zip(increments, increments[1:]))
+    # Fig. 4.3's range: ~3-4x growth over 40 -> 80 degC
+    assert 2.5 < curve[-1] / curve[0] < 5.5

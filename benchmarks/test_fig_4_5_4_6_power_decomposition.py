@@ -1,0 +1,85 @@
+"""Figs. 4.5 / 4.6: leakage and dynamic power vs temperature and frequency.
+
+Fig. 4.5 (fixed f = 1.6 GHz, temperature swept): dynamic power is flat,
+leakage grows exponentially.  Fig. 4.6 (fixed temperature, frequency swept
+800..1600 MHz): dynamic power grows super-linearly (V^2 f), leakage rises
+only slightly (through Vdd).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_bars
+from repro.platform.specs import BIG_OPP_TABLE, Resource
+from repro.power.characterization import default_power_model
+from repro.units import celsius_to_kelvin as c2k
+
+
+def _models():
+    pm = default_power_model()
+    big = pm[Resource.BIG]
+    # alpha*C learned from one full-speed observation of the plant's scale
+    vdd = BIG_OPP_TABLE.voltage(1.6e9)
+    big.observe(2.4 + big.leakage.power_w(c2k(55), vdd), c2k(55), vdd, 1.6e9)
+    return big
+
+
+def test_fig_4_5_power_vs_temperature(benchmark):
+    big = _models()
+    temps_c = [40, 50, 60, 70, 80]
+    f = 1.6e9
+    vdd = BIG_OPP_TABLE.voltage(f)
+
+    def compute():
+        leak = [big.leakage.power_w(c2k(t), vdd) for t in temps_c]
+        dyn = [big.dynamic.predict_w(f, vdd) for _ in temps_c]
+        return leak, dyn
+
+    leak, dyn = benchmark.pedantic(compute, rounds=5, iterations=1)
+    rows = {}
+    for t, l, d in zip(temps_c, leak, dyn):
+        rows["%d degC leak" % t] = l
+        rows["%d degC dyn" % t] = d
+    figure = ascii_bars(
+        rows, title="Fig 4.5: Leakage and dynamic power vs temperature (f=1.6GHz)", unit="W"
+    )
+    save_artifact("fig_4_5_power_vs_temp.txt", figure)
+    print("\n" + figure)
+
+    # dynamic power is temperature-independent
+    assert max(dyn) - min(dyn) < 1e-12
+    # leakage grows ~3-4x across the sweep (Fig. 4.5's spread)
+    assert 2.5 < leak[-1] / leak[0] < 5.5
+    # at 80 degC leakage is a substantial fraction of the budget
+    assert leak[-1] > 0.1 * dyn[0]
+
+
+def test_fig_4_6_power_vs_frequency(benchmark):
+    big = _models()
+    t = c2k(55.0)
+    freqs = [f for f in BIG_OPP_TABLE.frequencies_hz if f >= 8e8]
+
+    def compute():
+        leak = [big.leakage.power_w(t, BIG_OPP_TABLE.voltage(f)) for f in freqs]
+        dyn = [big.dynamic.predict_w(f, BIG_OPP_TABLE.voltage(f)) for f in freqs]
+        return leak, dyn
+
+    leak, dyn = benchmark.pedantic(compute, rounds=5, iterations=1)
+    rows = {}
+    for f, l, d in zip(freqs, leak, dyn):
+        rows["%4.0f MHz dyn" % (f / 1e6)] = d
+        rows["%4.0f MHz leak" % (f / 1e6)] = l
+    figure = ascii_bars(
+        rows, title="Fig 4.6: Leakage and dynamic power vs frequency", unit="W"
+    )
+    save_artifact("fig_4_6_power_vs_freq.txt", figure)
+    print("\n" + figure)
+
+    # dynamic grows super-linearly in f (V rises with f)
+    ratio_f = freqs[-1] / freqs[0]
+    assert dyn[-1] / dyn[0] > ratio_f
+    # leakage increases only mildly, via the supply voltage
+    assert 1.1 < leak[-1] / leak[0] < 1.6
+    # and each curve is monotone
+    assert all(b > a for a, b in zip(dyn, dyn[1:]))
+    assert all(b > a for a, b in zip(leak, leak[1:]))

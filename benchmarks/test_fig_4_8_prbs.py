@@ -1,0 +1,49 @@
+"""Fig. 4.8: the PRBS excitation of the big cluster.
+
+(a) the big-cluster power toggling between its minimum and maximum as the
+PRBS flips the frequency; (b) the resulting core-temperature response.
+Shape: power is two-level covering a wide range; temperature wanders over
+tens of degrees with visible fast (core) and slow (case/board) components.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_timeseries
+from repro.platform.specs import Resource
+from repro.thermal.sysid import PrbsExperiment
+
+
+def test_fig_4_8(benchmark):
+    session = benchmark.pedantic(
+        lambda: PrbsExperiment(duration_s=600.0).run_session(Resource.BIG),
+        rounds=1,
+        iterations=1,
+    )
+    t = np.arange(session.steps) * session.ts_s
+    p_big = session.powers_w[:, 0]
+    temp0 = session.temps_k[:, 0] - 273.15
+    fig_a = ascii_timeseries(
+        {"P_big": (t, p_big)},
+        title="Fig 4.8(a): PRBS power test signal, big cluster",
+        y_label="W",
+    )
+    fig_b = ascii_timeseries(
+        {"T_core0": (t, temp0)},
+        title="Fig 4.8(b): Core 0 temperature response",
+        y_label="degC",
+    )
+    save_artifact("fig_4_8_prbs.txt", fig_a + "\n\n" + fig_b)
+    print("\n" + fig_a + "\n\n" + fig_b)
+
+    # two-level excitation with a wide dynamic range (paper: ~0.5-2.7 W)
+    assert p_big.max() > 3.0 * p_big.min()
+    assert p_big.max() > 1.8
+    # both levels are well represented (maximal-length balance)
+    median = 0.5 * (p_big.max() + p_big.min())
+    high_frac = float(np.mean(p_big > median))
+    assert 0.25 < high_frac < 0.75
+    # the temperature response spans tens of degrees (paper: ~40-70)
+    assert temp0.max() - temp0.min() > 10.0
+    # temperature lags power: the hottest sample comes after sustained highs
+    assert np.argmax(temp0) > 100

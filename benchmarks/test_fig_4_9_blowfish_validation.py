@@ -1,0 +1,64 @@
+"""Fig. 4.9: thermal model validation on Blowfish, 1 s prediction interval.
+
+The identified model predicts the core temperature one second ahead at
+every control interval of a Blowfish run; measured and predicted traces
+must overlay (the paper quotes < 3 % / ~1 degC average error).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_timeseries
+from repro.sim.engine import Simulator, ThermalMode
+from repro.thermal.validation import horizon_predictions, prediction_error_report
+from repro.workloads.benchmarks import BLOWFISH
+
+
+def _collect(models):
+    sim = Simulator(BLOWFISH, ThermalMode.NO_FAN, max_duration_s=280.0)
+    result = sim.run()
+    temps = np.stack(
+        [
+            result.trace.column("temp0_c"),
+            result.trace.column("temp1_c"),
+            result.trace.column("temp2_c"),
+            result.trace.column("temp3_c"),
+        ],
+        axis=1,
+    ) + 273.15
+    powers = np.stack(
+        [
+            result.trace.column("p_big_w"),
+            result.trace.column("p_little_w"),
+            result.trace.column("p_gpu_w"),
+            result.trace.column("p_mem_w"),
+        ],
+        axis=1,
+    )
+    return result, temps, powers
+
+
+def test_fig_4_9(models, benchmark):
+    result, temps, powers = benchmark.pedantic(
+        lambda: _collect(models), rounds=1, iterations=1
+    )
+    horizon = 10  # 1 s
+    preds = horizon_predictions(models.thermal, temps, powers, horizon)
+    t_axis = result.times_s()[horizon:]
+    figure = ascii_timeseries(
+        {
+            "measured": (t_axis, temps[horizon:, 0] - 273.15),
+            "predicted": (t_axis, preds[:, 0] - 273.15),
+        },
+        title="Fig 4.9: Thermal model validation, Blowfish, 1 s interval",
+        y_label="degC",
+    )
+    save_artifact("fig_4_9_blowfish_validation.txt", figure)
+    print("\n" + figure)
+
+    report = prediction_error_report(models.thermal, temps, powers, horizon)
+    print("  " + str(report))
+    # the paper's headline: <3 % (~1 degC) average error at 1 s
+    assert report.mean_abs_c < 1.0
+    assert report.mean_pct < 3.0
+    assert report.max_abs_c < 4.0

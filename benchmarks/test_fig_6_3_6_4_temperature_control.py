@@ -1,0 +1,66 @@
+"""Figs. 6.3 / 6.4: temperature control for Templerun and Basicmath.
+
+Three traces per benchmark: without fan (violates and keeps climbing),
+with fan (bounded but oscillating), and the proposed DTPM (regulated at
+the 63 degC constraint without any fan).
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_timeseries
+from repro.sim.engine import ThermalMode
+
+CONSTRAINT_C = 63.0
+
+
+def _render(runs_dict, title):
+    return ascii_timeseries(
+        {
+            name: (res.times_s(), res.max_temps_c())
+            for name, res in runs_dict.items()
+        },
+        title=title,
+        y_label="degC",
+    )
+
+
+@pytest.mark.parametrize(
+    "bench,figure_name",
+    [("templerun", "fig_6_3"), ("basicmath", "fig_6_4")],
+)
+def test_temperature_control(runs, benchmark, bench, figure_name):
+    results = benchmark.pedantic(
+        lambda: {
+            "without fan": runs.get(bench, ThermalMode.NO_FAN),
+            "with fan": runs.get(bench, ThermalMode.DEFAULT_WITH_FAN),
+            "dtpm": runs.get(bench, ThermalMode.DTPM),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    figure = _render(
+        results,
+        "%s: Temperature control for %s" % (figure_name.upper(), bench),
+    )
+    save_artifact("%s_temperature_control_%s.txt" % (figure_name, bench), figure)
+    print("\n" + figure)
+
+    no_fan = results["without fan"]
+    fan = results["with fan"]
+    dtpm = results["dtpm"]
+
+    # without fan: clear constraint violation
+    assert no_fan.peak_temp_c() > CONSTRAINT_C + 1.5
+    # DTPM regulates at the constraint (small overshoot from sensor noise
+    # and prediction error, as in the paper's traces)
+    assert dtpm.peak_temp_c() < CONSTRAINT_C + 2.7
+    assert dtpm.interventions > 0
+    # DTPM is cooler than the runaway no-fan configuration at the end
+    assert dtpm.max_temps_c()[-1] <= no_fan.max_temps_c()[-1] + 0.5
+    # with fan: bounded, but by *using a fan*
+    assert fan.peak_temp_c() < CONSTRAINT_C + 4.0
+    assert fan.trace.column("fan_speed").max() >= 1
+    # DTPM never spins a fan
+    assert np.all(dtpm.trace.column("fan_speed") == 0)

@@ -1,0 +1,81 @@
+"""Fig. 6.5: thermal stability comparison (Templerun and Basicmath).
+
+Left panel: average temperature per configuration; right panel: the
+max-min temperature band.  The paper's claims: DTPM's average sits at the
+constraint like the fan's, its band is far tighter, and the variance drops
+by as much as ~6x versus the fan-cooled default.
+"""
+
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_grouped_bars
+from repro.analysis.stats import stability_stats
+from repro.sim.engine import ThermalMode
+from repro.sim.metrics import variance_reduction_factor
+
+BENCHES = ("templerun", "basicmath")
+MODES = (
+    ("without fan", ThermalMode.NO_FAN),
+    ("with fan", ThermalMode.DEFAULT_WITH_FAN),
+    ("dtpm", ThermalMode.DTPM),
+)
+
+
+def test_fig_6_5(runs, benchmark):
+    def collect():
+        stats = {}
+        for bench in BENCHES:
+            for label, mode in MODES:
+                result = runs.get(bench, mode)
+                skip = 0.45 * result.execution_time_s
+                stats[(bench, label)] = stability_stats(result, skip_s=skip)
+        return stats
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    avg_panel = ascii_grouped_bars(
+        {
+            bench: {
+                label: stats[(bench, label)].average_temp_c
+                for label, _ in MODES
+            }
+            for bench in BENCHES
+        },
+        title="Fig 6.5 (left): Average temperature",
+        unit="degC",
+    )
+    band_panel = ascii_grouped_bars(
+        {
+            bench: {
+                label: stats[(bench, label)].max_min_c for label, _ in MODES
+            }
+            for bench in BENCHES
+        },
+        title="Fig 6.5 (right): Max-Min temperature band",
+        unit="degC",
+    )
+    save_artifact("fig_6_5_thermal_stability.txt", avg_panel + "\n\n" + band_panel)
+    print("\n" + avg_panel + "\n\n" + band_panel)
+
+    for bench in BENCHES:
+        no_fan = stats[(bench, "without fan")]
+        fan = stats[(bench, "with fan")]
+        dtpm = stats[(bench, "dtpm")]
+        # without fan runs hottest on average
+        assert no_fan.average_temp_c > dtpm.average_temp_c - 0.5
+        # DTPM's band is the tightest of the three configurations
+        assert dtpm.max_min_c <= fan.max_min_c + 0.3
+        assert dtpm.max_min_c < no_fan.max_min_c
+
+    # the headline variance reduction (paper: up to ~6x vs the fan default);
+    # measured over the regulated portion of the runs
+    factors = []
+    for bench in BENCHES:
+        base = runs.get(bench, ThermalMode.DEFAULT_WITH_FAN)
+        dtpm = runs.get(bench, ThermalMode.DTPM)
+        skip = 0.45 * min(base.execution_time_s, dtpm.execution_time_s)
+        factors.append(variance_reduction_factor(base, dtpm, skip_s=skip))
+    print("  variance reduction factors: %s" % ["%.1fx" % f for f in factors])
+    assert max(factors) > 3.0  # at least one benchmark shows a big reduction
+    assert min(factors) > 0.8  # and DTPM is never meaningfully worse

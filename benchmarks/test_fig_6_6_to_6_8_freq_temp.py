@@ -1,0 +1,105 @@
+"""Figs. 6.6-6.8: frequency and temperature traces, default vs DTPM.
+
+Three activity classes, one benchmark each:
+
+* Fig. 6.6 -- Dijkstra (low): DTPM barely intervenes; both frequency
+  traces look alike, savings come from not spinning the fan.
+* Fig. 6.7 -- Patricia (medium): visible budget-driven throttling.
+* Fig. 6.8 -- Matrix multiplication (high): pronounced throttling regions
+  while the default (fan-cooled) run stays at f_max.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_timeseries
+from repro.sim.engine import ThermalMode
+
+
+def _figure(bench, default, dtpm, figure_name):
+    freq_plot = ascii_timeseries(
+        {
+            "default f": (default.times_s(), default.big_freqs_ghz()),
+            "dtpm f": (dtpm.times_s(), dtpm.big_freqs_ghz()),
+        },
+        title="%s: big-cluster frequency, %s" % (figure_name, bench),
+        y_label="GHz",
+    )
+    temp_plot = ascii_timeseries(
+        {
+            "default T": (default.times_s(), default.max_temps_c()),
+            "dtpm T": (dtpm.times_s(), dtpm.max_temps_c()),
+        },
+        title="%s: max core temperature, %s" % (figure_name, bench),
+        y_label="degC",
+    )
+    return freq_plot + "\n\n" + temp_plot
+
+
+def test_fig_6_6_dijkstra_low(runs, benchmark):
+    default, dtpm = benchmark.pedantic(
+        lambda: (
+            runs.get("dijkstra", ThermalMode.DEFAULT_WITH_FAN),
+            runs.get("dijkstra", ThermalMode.DTPM),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = _figure("dijkstra", default, dtpm, "Fig 6.6")
+    save_artifact("fig_6_6_dijkstra.txt", text)
+    print("\n" + text)
+
+    # low activity: DTPM rarely interferes, frequency traces alike
+    same = np.mean(
+        np.isclose(default.big_freqs_ghz()[:
+            min(len(default.trace), len(dtpm.trace))],
+            dtpm.big_freqs_ghz()[: min(len(default.trace), len(dtpm.trace))])
+    )
+    assert same > 0.9
+    assert dtpm.execution_time_s <= default.execution_time_s * 1.01
+
+
+def test_fig_6_7_patricia_medium(runs, benchmark):
+    default, dtpm = benchmark.pedantic(
+        lambda: (
+            runs.get("patricia", ThermalMode.DEFAULT_WITH_FAN),
+            runs.get("patricia", ThermalMode.DTPM),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = _figure("patricia", default, dtpm, "Fig 6.7")
+    save_artifact("fig_6_7_patricia.txt", text)
+    print("\n" + text)
+
+    # medium activity: the DTPM visibly throttles at times
+    assert dtpm.big_freqs_ghz().min() < 1.6
+    assert dtpm.interventions > 0
+    # but the default, fan-cooled run holds f_max throughout the steady part
+    assert np.mean(default.big_freqs_ghz() >= 1.55) > 0.9
+    # moderate performance cost
+    assert dtpm.execution_time_s <= default.execution_time_s * 1.06
+
+
+def test_fig_6_8_matrix_mult_high(runs, benchmark):
+    default, dtpm = benchmark.pedantic(
+        lambda: (
+            runs.get("matrix_mult", ThermalMode.DEFAULT_WITH_FAN),
+            runs.get("matrix_mult", ThermalMode.DTPM),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = _figure("matrix_mult", default, dtpm, "Fig 6.8")
+    save_artifact("fig_6_8_matrix_mult.txt", text)
+    print("\n" + text)
+
+    # high activity: marked throttling regions (Fig. 6.8's annotations)
+    throttled_frac = np.mean(dtpm.big_freqs_ghz() < 1.55)
+    assert throttled_frac > 0.1
+    assert dtpm.big_freqs_ghz().min() <= 1.4
+    # the default run with fan does not throttle
+    assert np.mean(default.big_freqs_ghz() >= 1.55) > 0.9
+    # performance loss stays small despite the visible throttling
+    assert dtpm.execution_time_s <= default.execution_time_s * 1.08

@@ -1,0 +1,87 @@
+"""Fig. 6.9: power savings and performance loss, all 15 benchmarks.
+
+The headline evaluation: DTPM vs the fan-cooled default across the whole
+suite.  Shape to reproduce:
+
+* savings grow with the activity category -- roughly 3 % (low), 8 %
+  (medium), 14 % (high) in the paper; the ordering and rough factors must
+  hold;
+* performance loss stays small: <1 % for low activity, a few percent on
+  average, hardly reaching 5 % even for the most demanding applications;
+* overall: the conclusion's ~10 % average savings at ~3 % average loss
+  band (we assert >5 % and <5 % respectively).
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.figures import ascii_grouped_bars
+from repro.sim.engine import ThermalMode
+from repro.sim.metrics import (
+    ComparisonRow,
+    overall_summary,
+    performance_loss_pct,
+    power_savings_pct,
+    summarize_categories,
+)
+from repro.workloads.benchmarks import ALL_BENCHMARKS
+
+
+def test_fig_6_9(runs, benchmark):
+    def collect():
+        rows = []
+        for workload in ALL_BENCHMARKS:
+            base = runs.get(workload.name, ThermalMode.DEFAULT_WITH_FAN)
+            dtpm = runs.get(workload.name, ThermalMode.DTPM)
+            rows.append(
+                ComparisonRow(
+                    benchmark=workload.name,
+                    category=workload.category,
+                    power_savings_pct=power_savings_pct(base, dtpm),
+                    performance_loss_pct=performance_loss_pct(base, dtpm),
+                    baseline_power_w=base.average_platform_power_w,
+                    dtpm_power_w=dtpm.average_platform_power_w,
+                    baseline_time_s=base.execution_time_s,
+                    dtpm_time_s=dtpm.execution_time_s,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    figure = ascii_grouped_bars(
+        {
+            row.benchmark: {
+                "savings": row.power_savings_pct,
+                "perf loss": row.performance_loss_pct,
+            }
+            for row in rows
+        },
+        title="Fig 6.9: Power savings and performance loss summary",
+        unit="%",
+    )
+    save_artifact("fig_6_9_savings_summary.txt", figure)
+    print("\n" + figure)
+
+    categories = summarize_categories(rows)
+    overall = overall_summary(rows)
+    print("  per category:", categories)
+    print("  overall:", overall)
+
+    # savings ordering low < medium < high (paper: 3 / 8 / 14 %)
+    assert (
+        categories["low"]["power_savings_pct"]
+        < categories["medium"]["power_savings_pct"]
+        < categories["high"]["power_savings_pct"]
+    )
+    assert categories["high"]["power_savings_pct"] > 7.0
+    assert categories["medium"]["power_savings_pct"] > 4.0
+    assert categories["low"]["power_savings_pct"] >= 0.0
+
+    # performance: low-activity losses below 1 %, nothing pathological
+    assert categories["low"]["performance_loss_pct"] < 1.0
+    assert overall["max_performance_loss_pct"] < 8.0
+    assert overall["performance_loss_pct"] < 5.0
+
+    # every benchmark individually: savings never negative beyond noise
+    for row in rows:
+        assert row.power_savings_pct > -1.0, row.benchmark

@@ -1,0 +1,69 @@
+"""Fig. 7.1 / Eqs. 7.1-7.3: dynamic power-budget distribution (future work).
+
+The Chapter-7 extension: split a dynamic power budget between the big CPU
+and the GPU (optionally the little CPU), minimising the execution-time
+cost J = sum c_i / f_i under sum a_i f_i^3 <= P_budget.  Reproduced here as
+a sweep over budgets comparing the exact branch-and-bound solution with
+the deployable greedy heuristic of Eq. 7.3.
+"""
+
+import numpy as np
+from conftest import save_artifact
+
+from repro.analysis.tables import render_table
+from repro.core.distribution import (
+    exynos_components,
+    solve_branch_and_bound,
+    solve_greedy,
+)
+
+
+def test_fig_7_1(benchmark):
+    budgets = [0.8, 1.2, 1.6, 2.0, 2.5, 3.0, 3.5, 4.0]
+    components = exynos_components(include_little=True)
+
+    def sweep():
+        rows = []
+        for budget in budgets:
+            optimal = solve_branch_and_bound(components, budget)
+            greedy = solve_greedy(components, budget)
+            rows.append((budget, optimal, greedy))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["Budget (W)", "B&B cost", "Greedy cost", "B&B f (GHz)", "Greedy f (GHz)"],
+        [
+            [
+                "%.1f" % budget,
+                "%.3f" % optimal.cost,
+                "%.3f" % greedy.cost,
+                "/".join(
+                    "%.2f" % optimal.frequencies_ghz[c.name] for c in components
+                ),
+                "/".join(
+                    "%.2f" % greedy.frequencies_ghz[c.name] for c in components
+                ),
+            ]
+            for budget, optimal, greedy in rows
+        ],
+        title="Fig 7.1 / Eq. 7.3: power budget distribution, big CPU / GPU / little CPU",
+    )
+    save_artifact("fig_7_1_budget_distribution.txt", table)
+    print("\n" + table)
+
+    costs_opt = [optimal.cost for _, optimal, _ in rows]
+    costs_greedy = [greedy.cost for _, _, greedy in rows]
+    # cost (execution time) decreases as the budget grows
+    assert all(b <= a + 1e-12 for a, b in zip(costs_opt, costs_opt[1:]))
+    # greedy is never better than optimal, and stays close (Eq. 7.3's case)
+    for opt, greedy in zip(costs_opt, costs_greedy):
+        assert greedy >= opt - 1e-12
+        assert greedy <= 1.25 * opt
+    # all assignments satisfy the power constraint
+    for budget, optimal, greedy in rows:
+        assert optimal.power_w <= budget + 1e-9
+        assert greedy.power_w <= budget + 1e-9
+    # tight budgets force the CPU below its maximum frequency
+    _, tight_opt, _ = rows[0]
+    assert tight_opt.frequencies_ghz["big_cpu"] < 1.6

@@ -1,0 +1,28 @@
+"""Table 6.4: the benchmark suite and its power categories."""
+
+from conftest import save_artifact
+
+from repro.analysis.tables import benchmark_table
+from repro.workloads.benchmarks import ALL_BENCHMARKS, table_6_4_rows
+
+
+def test_table_6_4(benchmark):
+    text = benchmark.pedantic(
+        lambda: benchmark_table(table_6_4_rows()), rounds=3, iterations=1
+    )
+    save_artifact("table_6_4.txt", text)
+    print("\n" + text)
+
+    # 15 benchmarks: 11 Mi-Bench + 2 games + 1 video + matrix multiplication
+    assert len(ALL_BENCHMARKS) == 15
+    types = {b.benchmark_type for b in ALL_BENCHMARKS}
+    assert {"security", "network", "computational", "telecomm", "consumer",
+            "game", "video"} <= types
+    categories = {b.category for b in ALL_BENCHMARKS}
+    assert categories == {"low", "medium", "high"}
+    # the paper's category anchors
+    rows = dict((name, cat) for _, name, cat in table_6_4_rows())
+    assert rows["blowfish"] == "low"
+    assert rows["basicmath"] == "high"
+    assert rows["templerun"] == "high"
+    assert rows["youtube"] == "low"

@@ -1,0 +1,41 @@
+"""Tables 6.1-6.3: the OPP tables of the big / little clusters and the GPU."""
+
+from conftest import save_artifact
+
+from repro.analysis.tables import frequency_table
+from repro.platform.specs import (
+    BIG_FREQUENCIES_HZ,
+    GPU_FREQUENCIES_HZ,
+    LITTLE_FREQUENCIES_HZ,
+)
+
+
+def _render():
+    parts = [
+        frequency_table(
+            BIG_FREQUENCIES_HZ, "Table 6.1: Frequency table for the big CPU cluster"
+        ),
+        frequency_table(
+            LITTLE_FREQUENCIES_HZ,
+            "Table 6.2: Frequency table for the little CPU cluster",
+        ),
+        frequency_table(GPU_FREQUENCIES_HZ, "Table 6.3: Frequency table for GPU"),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_tables_6_1_to_6_3(benchmark):
+    text = benchmark.pedantic(_render, rounds=3, iterations=1)
+    save_artifact("tables_6_1_to_6_3.txt", text)
+    print("\n" + text)
+
+    # Table 6.1: nine levels, 800..1600 MHz in 100 MHz steps
+    assert len(BIG_FREQUENCIES_HZ) == 9
+    assert BIG_FREQUENCIES_HZ[0] == 800e6 and BIG_FREQUENCIES_HZ[-1] == 1600e6
+    # Table 6.2: eight levels, 500..1200 MHz
+    assert len(LITTLE_FREQUENCIES_HZ) == 8
+    assert LITTLE_FREQUENCIES_HZ[0] == 500e6 and LITTLE_FREQUENCIES_HZ[-1] == 1200e6
+    # Table 6.3: five levels, 177..533 MHz
+    assert len(GPU_FREQUENCIES_HZ) == 5
+    assert GPU_FREQUENCIES_HZ[0] == 177e6 and GPU_FREQUENCIES_HZ[-1] == 533e6
+    assert "1600" in text and "533" in text

@@ -1,0 +1,60 @@
+"""Chapter-7 extension: distributing a power budget across components.
+
+Minimise execution-time cost J = sum c_i / f_i subject to the cubic power
+constraint sum a_i f_i^3 <= P_budget over the platform's discrete OPPs,
+comparing the exact branch-and-bound solution against the greedy descent
+the paper deploys in the kernel (Eq. 7.3).
+
+Run with::
+
+    python examples/budget_distribution.py
+"""
+
+from repro.core.distribution import (
+    exynos_components,
+    solve_branch_and_bound,
+    solve_greedy,
+)
+
+
+def main() -> None:
+    components = exynos_components(include_little=True)
+    print("Components (OPPs in GHz):")
+    for comp in components:
+        print(
+            "  %-10s c_i=%.2f  a_i=%.2f W/GHz^3  f in [%s]"
+            % (
+                comp.name,
+                comp.perf_coeff,
+                comp.power_coeff,
+                ", ".join("%.2f" % f for f in comp.frequencies_ghz),
+            )
+        )
+
+    print(
+        "\n%8s | %22s | %22s | %s"
+        % ("budget", "branch & bound", "greedy (Eq. 7.3)", "greedy gap")
+    )
+    for budget in (0.8, 1.2, 1.6, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0):
+        optimal = solve_branch_and_bound(components, budget)
+        greedy = solve_greedy(components, budget)
+        opt_f = "/".join(
+            "%.2f" % optimal.frequencies_ghz[c.name] for c in components
+        )
+        greedy_f = "/".join(
+            "%.2f" % greedy.frequencies_ghz[c.name] for c in components
+        )
+        gap = 100.0 * (greedy.cost / optimal.cost - 1.0)
+        print(
+            "%7.1fW | J=%.3f  f=%s | J=%.3f  f=%s | +%.1f %%"
+            % (budget, optimal.cost, opt_f, greedy.cost, greedy_f, gap)
+        )
+    print(
+        "\nBranch and bound explores the OPP lattice exactly; the greedy"
+        "\ndescent trades a small cost gap for kernel-friendly iteration"
+        "\n(no recursion), as Chapter 7 proposes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Gaming on a fanless phone: the paper's motivating scenario end to end.
+
+Runs the Templerun game (GPU rendering + the background matrix multiply
+the paper uses to overload the CPU) under all four Section-6.2
+configurations and reports regulation quality, power and performance --
+the full Chapter-6 story for one workload.
+
+Run with::
+
+    python examples/gaming_thermal.py
+"""
+
+from repro import ThermalMode, compare_modes, default_models, get_benchmark
+from repro.analysis.figures import ascii_timeseries
+from repro.analysis.stats import fan_duty, regulation_quality, stability_stats
+from repro.platform.specs import FAN_POWER_W
+from repro.sim.metrics import performance_loss_pct, power_savings_pct
+
+CONSTRAINT_C = 63.0
+
+
+def main() -> None:
+    models = default_models()
+    workload = get_benchmark("templerun")
+    print("Workload: %s (%d CPU threads, GPU demand %.0f %%)" % (
+        workload.name, workload.threads, 100 * workload.gpu_demand,
+    ))
+
+    results = compare_modes(workload, models=models)
+    base = results[ThermalMode.DEFAULT_WITH_FAN]
+
+    print("\n%-14s %8s %9s %8s %10s %10s" % (
+        "config", "time(s)", "power(W)", "peak(C)", "band(C)", "over63(C)",
+    ))
+    for mode, result in results.items():
+        skip = 0.45 * result.execution_time_s
+        stats = stability_stats(result, skip_s=skip)
+        quality = regulation_quality(result, CONSTRAINT_C, skip_s=skip)
+        print("%-14s %8.1f %9.2f %8.1f %10.1f %10.1f" % (
+            mode.value,
+            result.execution_time_s,
+            result.average_platform_power_w,
+            result.peak_temp_c(),
+            stats.max_min_c,
+            quality["peak_exceedance_c"],
+        ))
+
+    print("\nFan duty in the default configuration:")
+    for speed, frac in fan_duty(base).items():
+        if frac > 0:
+            print("  speed %d (%.2f W): %4.1f %% of the run" % (
+                speed, FAN_POWER_W[speed], 100 * frac,
+            ))
+
+    dtpm = results[ThermalMode.DTPM]
+    print("\nDTPM vs fan-cooled default:")
+    print("  power savings    %5.1f %%" % power_savings_pct(base, dtpm))
+    print("  performance loss %5.1f %%" % performance_loss_pct(base, dtpm))
+    print("  interventions    %d / %d intervals" % (
+        dtpm.interventions, len(dtpm.trace),
+    ))
+
+    print("\n" + ascii_timeseries(
+        {
+            "no fan": (
+                results[ThermalMode.NO_FAN].times_s(),
+                results[ThermalMode.NO_FAN].max_temps_c(),
+            ),
+            "fan": (base.times_s(), base.max_temps_c()),
+            "dtpm": (dtpm.times_s(), dtpm.max_temps_c()),
+        },
+        title="Templerun: temperature under the three thermal strategies",
+        y_label="degC",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: regulate a hot benchmark with the predictive DTPM governor.
+
+Builds the controller's models the way the paper does (furnace leakage
+characterization is pre-fitted; PRBS system identification runs live),
+then executes the Templerun game workload under the proposed DTPM
+configuration and under the fan-cooled default, and prints the comparison.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ThermalMode, default_models, get_benchmark, run_benchmark
+from repro.analysis.figures import ascii_timeseries
+from repro.sim.metrics import (
+    performance_loss_pct,
+    power_savings_pct,
+    variance_reduction_factor,
+)
+
+
+def main() -> None:
+    print("Building models (PRBS system identification)...")
+    models = default_models()
+    print(
+        "  identified 4x4 thermal model, spectral radius %.3f"
+        % models.thermal.spectral_radius()
+    )
+
+    workload = get_benchmark("templerun")
+    print("\nRunning %s under the fan-cooled default..." % workload.name)
+    base = run_benchmark(workload, ThermalMode.DEFAULT_WITH_FAN, models=models)
+    print("  " + base.summary())
+
+    print("Running %s under the proposed DTPM (no fan)..." % workload.name)
+    dtpm = run_benchmark(workload, ThermalMode.DTPM, models=models)
+    print("  " + dtpm.summary())
+    print("  DTPM interventions: %d control intervals" % dtpm.interventions)
+
+    print(
+        "\n"
+        + ascii_timeseries(
+            {
+                "with fan": (base.times_s(), base.max_temps_c()),
+                "dtpm": (dtpm.times_s(), dtpm.max_temps_c()),
+            },
+            title="Maximum core temperature (63 degC constraint)",
+            y_label="degC",
+        )
+    )
+
+    skip = 0.45 * min(base.execution_time_s, dtpm.execution_time_s)
+    print("\nHeadline numbers vs the fan-cooled default:")
+    print("  platform power savings : %5.1f %%" % power_savings_pct(base, dtpm))
+    print("  performance loss       : %5.1f %%" % performance_loss_pct(base, dtpm))
+    print(
+        "  temperature variance   : %.1fx smaller"
+        % variance_reduction_factor(base, dtpm, skip_s=skip)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro: Predictive Dynamic Thermal and Power Management (DTPM).
+
+A full reproduction of Singla et al., *"Predictive Dynamic Thermal and
+Power Management for Heterogeneous Mobile Platforms"* (DATE 2015):
+
+* a behavioural simulator of the Odroid-XU+E / Exynos 5410 big.LITTLE
+  platform (:mod:`repro.platform`) with a ground-truth thermal RC plant
+  (:mod:`repro.thermal`);
+* the Chapter-4 modeling methodology: furnace leakage characterization,
+  run-time alpha*C tracking (:mod:`repro.power`) and PRBS system
+  identification of the 4-state thermal model (:mod:`repro.thermal`);
+* the Chapter-5 contribution: predictive power budgeting and the DTPM
+  configuration policy (:mod:`repro.core`);
+* the Linux governor substrate (:mod:`repro.governors`), the Table-6.4
+  workloads (:mod:`repro.workloads`), and the closed-loop experiment
+  harness (:mod:`repro.sim`).
+
+Quickstart::
+
+    from repro import ThermalMode, default_models, get_benchmark, run_benchmark
+
+    models = default_models()           # furnace + PRBS + sysid, cached
+    result = run_benchmark(get_benchmark("templerun"), ThermalMode.DTPM,
+                           models=models)
+    print(result.summary())
+"""
+
+from repro.config import DEFAULT_CONFIG, SimulationConfig
+from repro.core import (
+    DtpmGovernor,
+    DtpmPolicy,
+    PowerBudgetComputer,
+    ThermalPredictor,
+    solve_branch_and_bound,
+    solve_greedy,
+)
+from repro.errors import ReproError
+from repro.platform import OdroidBoard, PlatformSpec, Resource
+from repro.power import FurnaceRig, LeakageModel, PowerModel, default_power_model
+from repro.sim import (
+    ModelBundle,
+    RunResult,
+    Simulator,
+    ThermalMode,
+    build_models,
+    compare_modes,
+    default_models,
+    dtpm_vs_default,
+    run_benchmark,
+)
+from repro.thermal import (
+    DiscreteThermalModel,
+    PrbsExperiment,
+    SystemIdentifier,
+    identify_default_model,
+)
+from repro.workloads import ALL_BENCHMARKS, get_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "SimulationConfig",
+    "DtpmGovernor",
+    "DtpmPolicy",
+    "PowerBudgetComputer",
+    "ThermalPredictor",
+    "solve_branch_and_bound",
+    "solve_greedy",
+    "ReproError",
+    "OdroidBoard",
+    "PlatformSpec",
+    "Resource",
+    "FurnaceRig",
+    "LeakageModel",
+    "PowerModel",
+    "default_power_model",
+    "ModelBundle",
+    "RunResult",
+    "Simulator",
+    "ThermalMode",
+    "build_models",
+    "compare_modes",
+    "default_models",
+    "dtpm_vs_default",
+    "run_benchmark",
+    "DiscreteThermalModel",
+    "PrbsExperiment",
+    "SystemIdentifier",
+    "identify_default_model",
+    "ALL_BENCHMARKS",
+    "get_benchmark",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Result analysis: statistics, table and figure renderers."""
+
+from repro.analysis.report import generate_report
+from repro.analysis.figures import ascii_bars, ascii_grouped_bars, ascii_timeseries
+from repro.analysis.stats import (
+    StabilityStats,
+    average_fan_power_w,
+    fan_duty,
+    frequency_residency,
+    regulation_quality,
+    stability_stats,
+)
+from repro.analysis.tables import benchmark_table, frequency_table, render_table
+
+__all__ = [
+    "generate_report",
+    "ascii_bars",
+    "ascii_grouped_bars",
+    "ascii_timeseries",
+    "StabilityStats",
+    "average_fan_power_w",
+    "fan_duty",
+    "frequency_residency",
+    "regulation_quality",
+    "stability_stats",
+    "benchmark_table",
+    "frequency_table",
+    "render_table",
+]

@@ -1,0 +1,124 @@
+"""ASCII renderers for the paper's figures.
+
+The benchmark harness regenerates every figure as a text artefact: a
+time-series line plot (temperature/frequency traces) or a labelled bar
+chart (savings / loss / stability summaries).  Pure text keeps the harness
+dependency-free and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def ascii_timeseries(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 78,
+    height: int = 18,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (t, y) series as an ASCII line plot.
+
+    Each series gets a distinct marker; the plot is auto-scaled to the
+    union of the data ranges.
+    """
+    if not series:
+        raise SimulationError("no series to plot")
+    markers = "*o+x#@%&"
+    all_t = np.concatenate([np.asarray(t, dtype=float) for t, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if all_t.size == 0:
+        raise SimulationError("empty series")
+    t_lo, t_hi = float(all_t.min()), float(all_t.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (t, y)) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        t = np.asarray(t, dtype=float)
+        y = np.asarray(y, dtype=float)
+        cols = ((t - t_lo) / (t_hi - t_lo) * (width - 1)).astype(int)
+        rows = ((y_hi - y) / (y_hi - y_lo) * (height - 1)).astype(int)
+        for c, r in zip(cols, rows):
+            grid[min(max(r, 0), height - 1)][min(max(c, 0), width - 1)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        "%s=%s" % (markers[i % len(markers)], name)
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append("%8.2f +%s" % (y_hi, "-" * width))
+    for r, row in enumerate(grid):
+        label = ""
+        if r == height // 2 and y_label:
+            label = y_label[: 8]
+        lines.append("%8s |%s" % (label, "".join(row)))
+    lines.append("%8.2f +%s" % (y_lo, "-" * width))
+    lines.append("%8s  %-10.1f%s%10.1f s" % ("", t_lo, " " * (width - 22), t_hi))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if not values:
+        raise SimulationError("no bars to plot")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    largest = max(abs(v) for v in values.values()) or 1.0
+    name_w = max(len(k) for k in values)
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(abs(value) / largest * width)))
+        lines.append(
+            "%-*s | %-*s %8.2f %s" % (name_w, name, width, bar, value, unit)
+        )
+    return "\n".join(lines)
+
+
+def ascii_grouped_bars(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Grouped bars: outer key = bar group (benchmark), inner = series."""
+    if not groups:
+        raise SimulationError("no groups to plot")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    largest = max(
+        (abs(v) for inner in groups.values() for v in inner.values()),
+        default=1.0,
+    ) or 1.0
+    name_w = max(len(k) for k in groups)
+    series_w = max(len(s) for inner in groups.values() for s in inner)
+    for name, inner in groups.items():
+        for i, (series, value) in enumerate(inner.items()):
+            label = name if i == 0 else ""
+            bar = "#" * max(0, int(round(abs(value) / largest * width)))
+            lines.append(
+                "%-*s  %-*s | %-*s %8.2f %s"
+                % (name_w, label, series_w, series, width, bar, value, unit)
+            )
+    return "\n".join(lines)

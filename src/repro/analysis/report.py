@@ -1,0 +1,168 @@
+"""One-shot evaluation report generator.
+
+Runs a configurable slice of the paper's evaluation and renders a single
+markdown report: prediction accuracy (Fig. 6.2), the four-configuration
+comparison for representative benchmarks (Figs. 6.3-6.5), and the
+DTPM-vs-default sweep (Fig. 6.9) with category summaries.  Used by the
+``repro-dtpm report`` CLI subcommand and handy for regression-tracking a
+fork of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import stability_stats
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.experiment import dtpm_vs_default, run_benchmark
+from repro.sim.metrics import overall_summary, summarize_categories
+from repro.sim.models import ModelBundle, default_models
+from repro.thermal.validation import prediction_error_report
+from repro.workloads.benchmarks import ALL_BENCHMARKS
+from repro.workloads.trace import WorkloadTrace
+
+
+def _prediction_section(
+    workloads: Sequence[WorkloadTrace], models: ModelBundle
+) -> List[str]:
+    lines = ["## Temperature prediction accuracy (1 s horizon)", ""]
+    lines.append("| benchmark | mean error (degC) | mean error (%) |")
+    lines.append("|---|---|---|")
+    errors_c, errors_pct = [], []
+    for workload in workloads:
+        sim = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=150.0)
+        result = sim.run()
+        temps = np.stack(
+            [result.trace.column("temp%d_c" % i) for i in range(4)], axis=1
+        ) + 273.15
+        powers = np.stack(
+            [
+                result.trace.column("p_big_w"),
+                result.trace.column("p_little_w"),
+                result.trace.column("p_gpu_w"),
+                result.trace.column("p_mem_w"),
+            ],
+            axis=1,
+        )
+        report = prediction_error_report(models.thermal, temps, powers, 10)
+        errors_c.append(report.mean_abs_c)
+        errors_pct.append(report.mean_pct)
+        lines.append(
+            "| %s | %.2f | %.2f |"
+            % (workload.name, report.mean_abs_c, report.mean_pct)
+        )
+    lines.append(
+        "| **average** | **%.2f** | **%.2f** |"
+        % (float(np.mean(errors_c)), float(np.mean(errors_pct)))
+    )
+    lines.append("")
+    return lines
+
+
+def _regulation_section(
+    workloads: Sequence[WorkloadTrace], models: ModelBundle
+) -> List[str]:
+    lines = ["## Regulation quality (63 degC constraint)", ""]
+    lines.append(
+        "| benchmark | config | peak (degC) | avg (degC) | band (degC) |"
+    )
+    lines.append("|---|---|---|---|---|")
+    for workload in workloads:
+        for mode in (
+            ThermalMode.NO_FAN,
+            ThermalMode.DEFAULT_WITH_FAN,
+            ThermalMode.DTPM,
+        ):
+            result = run_benchmark(workload, mode, models=models)
+            stats = stability_stats(result)
+            lines.append(
+                "| %s | %s | %.1f | %.1f | %.1f |"
+                % (
+                    workload.name,
+                    mode.value,
+                    stats.peak_c,
+                    stats.average_temp_c,
+                    stats.max_min_c,
+                )
+            )
+    lines.append("")
+    return lines
+
+
+def _savings_section(
+    workloads: Sequence[WorkloadTrace], models: ModelBundle
+) -> List[str]:
+    rows = dtpm_vs_default(workloads, models=models)
+    lines = ["## DTPM vs fan-cooled default (Fig. 6.9)", ""]
+    lines.append("| benchmark | category | savings (%) | perf loss (%) |")
+    lines.append("|---|---|---|---|")
+    for row in rows:
+        lines.append(
+            "| %s | %s | %.1f | %.1f |"
+            % (
+                row.benchmark,
+                row.category,
+                row.power_savings_pct,
+                row.performance_loss_pct,
+            )
+        )
+    lines.append("")
+    lines.append("### Per category")
+    lines.append("")
+    for category, stats in sorted(summarize_categories(rows).items()):
+        lines.append(
+            "- **%s** (%d benchmarks): %.1f %% savings, %.1f %% loss"
+            % (
+                category,
+                int(stats["count"]),
+                stats["power_savings_pct"],
+                stats["performance_loss_pct"],
+            )
+        )
+    summary = overall_summary(rows)
+    lines.append("")
+    lines.append(
+        "**Overall**: %.1f %% average savings (max %.1f %%), "
+        "%.1f %% average performance loss (max %.1f %%)."
+        % (
+            summary["power_savings_pct"],
+            summary["max_power_savings_pct"],
+            summary["performance_loss_pct"],
+            summary["max_performance_loss_pct"],
+        )
+    )
+    lines.append("")
+    return lines
+
+
+def generate_report(
+    models: Optional[ModelBundle] = None,
+    workloads: Optional[Iterable[WorkloadTrace]] = None,
+    include_prediction: bool = True,
+    include_regulation: bool = True,
+    include_savings: bool = True,
+) -> str:
+    """Run the selected evaluation slices and return a markdown report."""
+    models = models or default_models()
+    workloads = list(workloads) if workloads is not None else list(ALL_BENCHMARKS)
+    lines = [
+        "# DTPM evaluation report",
+        "",
+        "Reproduction of Singla et al., DATE 2015 -- generated by "
+        "`repro.analysis.report`.",
+        "",
+        "Thermal model spectral radius: %.4f; %d benchmarks evaluated."
+        % (models.thermal.spectral_radius(), len(workloads)),
+        "",
+    ]
+    if include_prediction:
+        lines += _prediction_section(workloads, models)
+    if include_regulation:
+        representative = [w for w in workloads if w.category == "high"][:2]
+        if representative:
+            lines += _regulation_section(representative, models)
+    if include_savings:
+        lines += _savings_section(workloads, models)
+    return "\n".join(lines)

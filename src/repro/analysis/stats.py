@@ -1,0 +1,82 @@
+"""Summary statistics over run results (feeding the paper's tables/figures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.run_result import RunResult
+
+
+@dataclass(frozen=True)
+class StabilityStats:
+    """Fig. 6.5's two panels for one run: average temp and max-min band."""
+
+    mode: str
+    average_temp_c: float
+    max_min_c: float
+    variance_c2: float
+    peak_c: float
+
+
+def stability_stats(result: RunResult, skip_s: float = None) -> StabilityStats:
+    """Regulation-quality statistics of one run.
+
+    ``skip_s`` defaults to 40 % of the run (excludes the warm-up climb the
+    paper's stability figures also ignore).
+    """
+    if skip_s is None:
+        skip_s = 0.4 * result.execution_time_s
+    return StabilityStats(
+        mode=result.mode,
+        average_temp_c=result.average_temp_c(skip_s),
+        max_min_c=result.temp_max_min_c(skip_s),
+        variance_c2=result.temp_variance(skip_s),
+        peak_c=result.peak_temp_c(),
+    )
+
+
+def regulation_quality(
+    result: RunResult, constraint_c: float, skip_s: float = None
+) -> Dict[str, float]:
+    """How well a run respected the thermal constraint."""
+    if skip_s is None:
+        skip_s = 0.4 * result.execution_time_s
+    temps = result.max_temps_c()[result.settle_slice(skip_s)]
+    if temps.size == 0:
+        raise SimulationError("trace too short")
+    over = np.maximum(0.0, temps - constraint_c)
+    return {
+        "peak_exceedance_c": float(np.max(over)),
+        "mean_exceedance_c": float(np.mean(over)),
+        "fraction_over": float(np.mean(over > 0)),
+        "fraction_over_1c": float(np.mean(over > 1.0)),
+    }
+
+
+def frequency_residency(result: RunResult) -> Dict[float, float]:
+    """Fraction of intervals spent at each big-cluster frequency (GHz)."""
+    freqs = result.big_freqs_ghz()
+    if freqs.size == 0:
+        raise SimulationError("empty trace")
+    out: Dict[float, float] = {}
+    for f in sorted(set(np.round(freqs, 3))):
+        out[float(f)] = float(np.mean(np.isclose(np.round(freqs, 3), f)))
+    return out
+
+
+def fan_duty(result: RunResult) -> Dict[int, float]:
+    """Fraction of intervals at each fan speed (0=off..3=high)."""
+    speeds = result.trace.column("fan_speed").astype(int)
+    if speeds.size == 0:
+        raise SimulationError("empty trace")
+    return {s: float(np.mean(speeds == s)) for s in range(4)}
+
+
+def average_fan_power_w(result: RunResult, fan_power_w: Sequence[float]) -> float:
+    """Mean fan motor power over a run given the per-speed power table."""
+    duty = fan_duty(result)
+    return float(sum(duty[s] * fan_power_w[s] for s in duty))

@@ -1,0 +1,48 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import SimulationError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned text table."""
+    rows = [list(map(str, row)) for row in rows]
+    if not rows:
+        raise SimulationError("no rows to render")
+    if any(len(row) != len(headers) for row in rows):
+        raise SimulationError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), max(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def frequency_table(frequencies_hz: Sequence[float], title: str) -> str:
+    """Render an OPP table the way Tables 6.1-6.3 print it."""
+    rows = [["%.0f" % (f / 1e6,)] for f in frequencies_hz]
+    return render_table(["Frequency (MHz)"], rows, title=title)
+
+
+def benchmark_table(rows: Iterable[Sequence[str]]) -> str:
+    """Render Table 6.4 (type / benchmark / category)."""
+    return render_table(
+        ["Types", "Benchmark", "Category"],
+        rows,
+        title="Table 6.4: Benchmarks used in the experiments",
+    )

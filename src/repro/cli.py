@@ -1,0 +1,205 @@
+"""Command-line interface to the reproduction.
+
+Subcommands::
+
+    python -m repro.cli tables             # print Tables 6.1-6.4
+    python -m repro.cli identify           # run the Chapter-4 pipeline
+    python -m repro.cli run BENCH MODE     # one benchmark, one configuration
+    python -m repro.cli compare BENCH      # all four configurations
+    python -m repro.cli suite              # the Fig. 6.9 sweep (slow)
+
+Exposed as the ``repro-dtpm`` console script as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.tables import benchmark_table, frequency_table, render_table
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import compare_modes, dtpm_vs_default, run_benchmark
+from repro.sim.metrics import (
+    overall_summary,
+    performance_loss_pct,
+    power_savings_pct,
+    summarize_categories,
+)
+from repro.sim.models import build_models, default_models
+from repro.workloads.benchmarks import (
+    ALL_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+    table_6_4_rows,
+)
+
+_MODES = {m.value: m for m in ThermalMode}
+
+
+def _cmd_tables(_args) -> int:
+    from repro.platform.specs import (
+        BIG_FREQUENCIES_HZ,
+        GPU_FREQUENCIES_HZ,
+        LITTLE_FREQUENCIES_HZ,
+    )
+
+    print(frequency_table(BIG_FREQUENCIES_HZ, "Table 6.1: big CPU cluster"))
+    print()
+    print(frequency_table(LITTLE_FREQUENCIES_HZ, "Table 6.2: little CPU cluster"))
+    print()
+    print(frequency_table(GPU_FREQUENCIES_HZ, "Table 6.3: GPU"))
+    print()
+    print(benchmark_table(table_6_4_rows()))
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    print("Running furnace characterization + PRBS identification...")
+    bundle = build_models(
+        prbs_duration_s=args.duration,
+        run_furnace=args.furnace,
+        method=args.method,
+    )
+    model = bundle.thermal
+    print("identified A:")
+    for row in model.a:
+        print("  " + "  ".join("%7.4f" % v for v in row))
+    print("identified B:")
+    for row in model.b:
+        print("  " + "  ".join("%7.4f" % v for v in row))
+    print("offset d:", "  ".join("%6.2f" % v for v in model.offset))
+    print("spectral radius: %.4f" % model.spectral_radius())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = get_benchmark(args.benchmark)
+    mode = _MODES[args.mode]
+    models = default_models() if mode is ThermalMode.DTPM else None
+    result = run_benchmark(workload, mode, models=models)
+    print(result.summary())
+    print(
+        "  peak %.1f degC | interventions %d | migrations %d"
+        % (result.peak_temp_c(), result.interventions, result.cluster_migrations)
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    workload = get_benchmark(args.benchmark)
+    results = compare_modes(workload, models=default_models())
+    base = results[ThermalMode.DEFAULT_WITH_FAN]
+    rows = []
+    for mode, result in results.items():
+        rows.append(
+            [
+                mode.value,
+                "%.1f" % result.execution_time_s,
+                "%.2f" % result.average_platform_power_w,
+                "%.1f" % result.peak_temp_c(),
+                "%.1f" % power_savings_pct(base, result),
+                "%.1f" % performance_loss_pct(base, result),
+            ]
+        )
+    print(
+        render_table(
+            ["config", "time (s)", "power (W)", "peak (C)", "savings %", "loss %"],
+            rows,
+            title="%s under the four Section-6.2 configurations" % workload.name,
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report
+
+    workloads = None
+    if args.quick:
+        workloads = [
+            get_benchmark(n) for n in ("dijkstra", "patricia", "matrix_mult")
+        ]
+    text = generate_report(models=default_models(), workloads=workloads)
+    with open(args.output, "w") as fh:
+        fh.write(text + "\n")
+    print("report written to %s (%d lines)" % (args.output, text.count("\n") + 1))
+    return 0
+
+
+def _cmd_suite(_args) -> int:
+    print("Running the full Fig. 6.9 sweep (15 benchmarks x 2 configs)...")
+    rows = dtpm_vs_default(ALL_BENCHMARKS, models=default_models())
+    table_rows = [
+        [
+            r.benchmark,
+            r.category,
+            "%.1f" % r.power_savings_pct,
+            "%.1f" % r.performance_loss_pct,
+        ]
+        for r in rows
+    ]
+    print(
+        render_table(
+            ["benchmark", "category", "savings %", "perf loss %"],
+            table_rows,
+            title="Fig 6.9: DTPM vs fan-cooled default",
+        )
+    )
+    print("\nper category:", summarize_categories(rows))
+    print("overall:", overall_summary(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dtpm",
+        description="Predictive DTPM reproduction (Singla et al., DATE 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 6.1-6.4").set_defaults(
+        func=_cmd_tables
+    )
+
+    p_ident = sub.add_parser("identify", help="run the Chapter-4 pipeline")
+    p_ident.add_argument("--duration", type=float, default=1050.0,
+                         help="PRBS session length in seconds")
+    p_ident.add_argument("--furnace", action="store_true",
+                         help="run the furnace characterization too")
+    p_ident.add_argument("--method", default="structured",
+                         choices=("structured", "staged", "joint"))
+    p_ident.set_defaults(func=_cmd_identify)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument("mode", choices=sorted(_MODES))
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all four configurations")
+    p_cmp.add_argument("benchmark", choices=benchmark_names())
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    sub.add_parser("suite", help="the full Fig. 6.9 sweep").set_defaults(
+        func=_cmd_suite
+    )
+
+    p_rep = sub.add_parser("report", help="write a markdown evaluation report")
+    p_rep.add_argument("--output", default="dtpm_report.md")
+    p_rep.add_argument("--quick", action="store_true",
+                       help="restrict to a few representative benchmarks")
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

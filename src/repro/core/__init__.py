@@ -1,0 +1,29 @@
+"""The paper's primary contribution: predictive DTPM (Chapter 5 + Ch. 7)."""
+
+from repro.core.budget import BudgetResult, PowerBudgetComputer
+from repro.core.distribution import (
+    Component,
+    DistributionResult,
+    exynos_components,
+    solve_branch_and_bound,
+    solve_greedy,
+)
+from repro.core.dtpm import DtpmGovernor, DtpmOutcome
+from repro.core.policy import DtpmPolicy, PolicyDecision
+from repro.core.predictor import ThermalForecast, ThermalPredictor
+
+__all__ = [
+    "BudgetResult",
+    "PowerBudgetComputer",
+    "Component",
+    "DistributionResult",
+    "exynos_components",
+    "solve_branch_and_bound",
+    "solve_greedy",
+    "DtpmGovernor",
+    "DtpmOutcome",
+    "DtpmPolicy",
+    "PolicyDecision",
+    "ThermalForecast",
+    "ThermalPredictor",
+]

@@ -1,0 +1,173 @@
+"""Run-time power budget computation (Section 5.1, Eqs. 5.4-5.6).
+
+Starting from the temperature constraint ``Tmax`` and the identified model,
+work *backwards* to the largest power one resource may draw over the next
+prediction window without any hotspot violating the constraint:
+
+    B_i P[k] <= Tmax - A_i T[k]            (Eq. 5.4, one row per hotspot)
+
+solved for equality on the hottest core's row (Eq. 5.5).  With a horizon of
+``n`` control intervals the same algebra uses the n-step matrices of
+Eq. 4.5 (setting n = 1 recovers the paper's equations verbatim):
+
+    M_i P = Tmax - (A^n T)_i - (S_n d)_i,   M = sum_{j<n} A^j B
+
+The non-targeted resources' powers are pinned at their measured values, so
+the single scalar unknown is the budgeted resource's total power.  The
+dynamic budget of Eq. 5.6 is obtained by subtracting the modelled leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import BudgetError
+from repro.platform.specs import POWER_RESOURCES, Resource
+from repro.thermal.state_space import DiscreteThermalModel
+
+#: Smallest usable coefficient on the budgeted resource's power.  Below this
+#: the identified row carries no information about the resource and solving
+#: for it would explode numerically.
+_MIN_COEFFICIENT = 1e-4
+
+
+@dataclass(frozen=True)
+class BudgetResult:
+    """Outcome of one power-budget computation."""
+
+    resource: Resource
+    total_budget_w: float
+    row: int  # hotspot row the budget was solved on
+    rhs_k: float  # Tmax - A^n T - S_n d for that row (thermal headroom)
+    coefficient: float  # M_{row, resource}
+    horizon_steps: int
+
+    def dynamic_budget_w(self, leakage_w: float) -> float:
+        """Eq. 5.6: subtract the leakage component from the total budget."""
+        return self.total_budget_w - leakage_w
+
+
+class PowerBudgetComputer:
+    """Computes per-resource power budgets from the thermal model."""
+
+    def __init__(
+        self,
+        model: DiscreteThermalModel,
+        horizon_steps: int = 10,
+    ) -> None:
+        if horizon_steps < 1:
+            raise BudgetError("horizon must be >= 1 step")
+        self.model = model
+        self.horizon_steps = horizon_steps
+        self._a_n, self._m_n, self._s_n = model.horizon_matrices(horizon_steps)
+        self._resource_index = {r: i for i, r in enumerate(POWER_RESOURCES)}
+
+    # ------------------------------------------------------------------
+    def headroom_k(self, temps_k: np.ndarray, t_constraint_k: float) -> np.ndarray:
+        """Per-hotspot thermal headroom ``Tmax - A^n T - S_n d`` (K)."""
+        temps = np.asarray(temps_k, dtype=float)
+        return (
+            t_constraint_k
+            - self._a_n @ temps
+            - self._s_n @ self.model.offset
+        )
+
+    def compute(
+        self,
+        temps_k: np.ndarray,
+        powers_w: np.ndarray,
+        t_constraint_k: float,
+        resource: Resource = Resource.BIG,
+        row: Optional[int] = None,
+    ) -> BudgetResult:
+        """Solve the budget equation for one resource.
+
+        Parameters
+        ----------
+        temps_k:
+            Measured hotspot temperatures ``T[k]``.
+        powers_w:
+            Measured resource powers ``P[k]`` (big, little, gpu, mem); the
+            non-budgeted entries are held at these values.
+        t_constraint_k:
+            The temperature constraint ``Tmax``.
+        resource:
+            Which resource's power to solve for (paper: the big cluster,
+            Ch. 7 extends to GPU/little).
+        row:
+            Hotspot row to solve on.  Defaults to the paper's choice: the
+            core "with the maximum temperature [that] is most likely to
+            violate constraints" -- evaluated on the *predicted* horizon
+            temperatures, falling back over rows whose coefficient on the
+            budgeted resource is unusable.
+        """
+        temps = np.asarray(temps_k, dtype=float).reshape(-1)
+        powers = np.asarray(powers_w, dtype=float).reshape(-1)
+        if temps.shape[0] != self.model.num_states:
+            raise BudgetError("temperature vector has wrong length")
+        if powers.shape[0] != self.model.num_inputs:
+            raise BudgetError("power vector has wrong length")
+        j = self._resource_index[resource]
+        rhs_all = self.headroom_k(temps, t_constraint_k)
+
+        if row is None:
+            candidates = self._rows_by_predicted_heat(temps, powers)
+        else:
+            candidates = [row]
+        chosen = None
+        for r in candidates:
+            if abs(self._m_n[r, j]) >= _MIN_COEFFICIENT:
+                chosen = r
+                break
+        if chosen is None:
+            raise BudgetError(
+                "no hotspot row has a usable coefficient for %s" % resource
+            )
+
+        m_row = self._m_n[chosen]
+        other = float(m_row @ powers - m_row[j] * powers[j])
+        budget = (float(rhs_all[chosen]) - other) / float(m_row[j])
+        return BudgetResult(
+            resource=resource,
+            total_budget_w=budget,
+            row=chosen,
+            rhs_k=float(rhs_all[chosen]),
+            coefficient=float(m_row[j]),
+            horizon_steps=self.horizon_steps,
+        )
+
+    def compute_strict(
+        self,
+        temps_k: np.ndarray,
+        powers_w: np.ndarray,
+        t_constraint_k: float,
+        resource: Resource = Resource.BIG,
+    ) -> BudgetResult:
+        """Most conservative budget: the minimum over all hotspot rows.
+
+        The paper targets only the hottest core; this variant enforces
+        Eq. 5.4 on every row simultaneously and is used by the ablation
+        benchmarks.
+        """
+        results = []
+        for r in range(self.model.num_states):
+            j = self._resource_index[resource]
+            if abs(self._m_n[r, j]) < _MIN_COEFFICIENT:
+                continue
+            results.append(
+                self.compute(temps_k, powers_w, t_constraint_k, resource, row=r)
+            )
+        if not results:
+            raise BudgetError("no usable row for %s" % resource)
+        return min(results, key=lambda res: res.total_budget_w)
+
+    # ------------------------------------------------------------------
+    def _rows_by_predicted_heat(
+        self, temps_k: np.ndarray, powers_w: np.ndarray
+    ) -> list:
+        """Hotspot rows sorted hottest-first on the horizon prediction."""
+        pred = self._a_n @ temps_k + self._m_n @ powers_w + self._s_n @ self.model.offset
+        return list(np.argsort(pred)[::-1])

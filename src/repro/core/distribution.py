@@ -1,0 +1,255 @@
+"""Power-budget distribution across heterogeneous components (Chapter 7).
+
+The paper's future-work extension: split the dynamic power budget among the
+big CPU, the GPU (and potentially more components), choosing per-component
+frequencies that minimise the execution-time cost
+
+    J(f_1 .. f_n) = sum_i c_i / f_i                       (Eq. 7.1)
+
+subject to the cubic power constraint
+
+    P(f_1 .. f_n) = sum_i a_i * f_i^3  <=  P_budget        (Eq. 7.2)
+
+Frequencies are discrete (the OPP tables), which makes the exact problem a
+combinatorial search; the paper notes branch-and-bound "solves this problem
+theoretically, but is limited during implementation by the use of recursive
+function in the linux kernel", so it deploys the greedy descent of Eq. 7.3:
+repeatedly step down the component whose step costs the least extra J.
+
+Both solvers are implemented here; frequencies are normalised to GHz so
+``a_i`` is expressed in W/GHz^3 and the cubic term stays well-scaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BudgetError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class Component:
+    """One frequency-scalable component of the heterogeneous processor."""
+
+    name: str
+    frequencies_ghz: Tuple[float, ...]
+    perf_coeff: float  # c_i of Eq. 7.1 (work per unit time at 1 GHz)
+    power_coeff: float  # a_i of Eq. 7.2 (W at 1 GHz, cubic scaling)
+
+    def __post_init__(self) -> None:
+        freqs = tuple(self.frequencies_ghz)
+        if len(freqs) < 1:
+            raise ConfigurationError("component needs at least one OPP")
+        if any(f <= 0 for f in freqs):
+            raise ConfigurationError("frequencies must be positive")
+        if any(b <= a for a, b in zip(freqs, freqs[1:])):
+            raise ConfigurationError("frequencies must strictly increase")
+        if self.perf_coeff <= 0 or self.power_coeff <= 0:
+            raise ConfigurationError("coefficients must be positive")
+        object.__setattr__(self, "frequencies_ghz", freqs)
+
+    def cost(self, freq_ghz: float) -> float:
+        """Execution-time contribution c_i / f_i."""
+        return self.perf_coeff / freq_ghz
+
+    def power(self, freq_ghz: float) -> float:
+        """Power contribution a_i * f_i^3."""
+        return self.power_coeff * freq_ghz ** 3
+
+
+@dataclass(frozen=True)
+class DistributionResult:
+    """A frequency assignment with its cost and power."""
+
+    frequencies_ghz: Dict[str, float]
+    cost: float
+    power_w: float
+    feasible: bool
+    nodes_explored: int = 0
+
+
+def _evaluate(
+    components: Sequence[Component], levels: Sequence[int]
+) -> Tuple[float, float]:
+    cost = 0.0
+    power = 0.0
+    for comp, level in zip(components, levels):
+        f = comp.frequencies_ghz[level]
+        cost += comp.cost(f)
+        power += comp.power(f)
+    return cost, power
+
+
+def solve_branch_and_bound(
+    components: Sequence[Component], budget_w: float
+) -> DistributionResult:
+    """Exact solution by depth-first branch and bound over OPP levels.
+
+    Bounds: at each partial assignment, the optimistic completion assumes
+    every remaining component runs at its maximum frequency (lowest cost);
+    the branch is pruned when even that exceeds the incumbent, or when the
+    partial power with all remaining components at *minimum* frequency
+    already violates the budget.
+    """
+    if budget_w <= 0:
+        raise BudgetError("budget must be positive")
+    comps = list(components)
+    if not comps:
+        raise ConfigurationError("no components to distribute over")
+
+    min_power_tail = [0.0] * (len(comps) + 1)
+    best_cost_tail = [0.0] * (len(comps) + 1)
+    for i in range(len(comps) - 1, -1, -1):
+        min_power_tail[i] = min_power_tail[i + 1] + comps[i].power(
+            comps[i].frequencies_ghz[0]
+        )
+        best_cost_tail[i] = best_cost_tail[i + 1] + comps[i].cost(
+            comps[i].frequencies_ghz[-1]
+        )
+
+    best = {"cost": float("inf"), "levels": None}
+    explored = {"n": 0}
+
+    def descend(i: int, levels: List[int], cost: float, power: float) -> None:
+        explored["n"] += 1
+        if power + min_power_tail[i] > budget_w:
+            return  # cannot become feasible
+        if cost + best_cost_tail[i] >= best["cost"]:
+            return  # cannot beat the incumbent
+        if i == len(comps):
+            best["cost"] = cost
+            best["levels"] = list(levels)
+            return
+        comp = comps[i]
+        # try fastest first so good incumbents appear early
+        for level in range(len(comp.frequencies_ghz) - 1, -1, -1):
+            f = comp.frequencies_ghz[level]
+            levels.append(level)
+            descend(i + 1, levels, cost + comp.cost(f), power + comp.power(f))
+            levels.pop()
+
+    descend(0, [], 0.0, 0.0)
+    if best["levels"] is None:
+        # infeasible even at all-minimum: report that assignment
+        levels = [0] * len(comps)
+        cost, power = _evaluate(comps, levels)
+        return DistributionResult(
+            frequencies_ghz={
+                c.name: c.frequencies_ghz[0] for c in comps
+            },
+            cost=cost,
+            power_w=power,
+            feasible=False,
+            nodes_explored=explored["n"],
+        )
+    cost, power = _evaluate(comps, best["levels"])
+    return DistributionResult(
+        frequencies_ghz={
+            c.name: c.frequencies_ghz[lv] for c, lv in zip(comps, best["levels"])
+        },
+        cost=cost,
+        power_w=power,
+        feasible=True,
+        nodes_explored=explored["n"],
+    )
+
+
+def solve_greedy(
+    components: Sequence[Component], budget_w: float
+) -> DistributionResult:
+    """The paper's deployable heuristic (Eq. 7.3).
+
+    Start from every component at its maximum frequency; while the power
+    constraint is violated, step down the component whose single-step
+    demotion increases J the least ("we throttle the frequency of the
+    components which has least affect on performance").
+    """
+    if budget_w <= 0:
+        raise BudgetError("budget must be positive")
+    comps = list(components)
+    if not comps:
+        raise ConfigurationError("no components to distribute over")
+    levels = [len(c.frequencies_ghz) - 1 for c in comps]
+    steps = 0
+
+    while True:
+        cost, power = _evaluate(comps, levels)
+        if power <= budget_w:
+            return DistributionResult(
+                frequencies_ghz={
+                    c.name: c.frequencies_ghz[lv] for c, lv in zip(comps, levels)
+                },
+                cost=cost,
+                power_w=power,
+                feasible=True,
+                nodes_explored=steps,
+            )
+        # pick the cheapest single step down (Eq. 7.3 comparison)
+        best_idx = None
+        best_delta = float("inf")
+        for i, comp in enumerate(comps):
+            if levels[i] == 0:
+                continue
+            f_now = comp.frequencies_ghz[levels[i]]
+            f_down = comp.frequencies_ghz[levels[i] - 1]
+            delta_j = comp.cost(f_down) - comp.cost(f_now)
+            if delta_j < best_delta:
+                best_delta = delta_j
+                best_idx = i
+        if best_idx is None:
+            cost, power = _evaluate(comps, levels)
+            return DistributionResult(
+                frequencies_ghz={
+                    c.name: c.frequencies_ghz[lv] for c, lv in zip(comps, levels)
+                },
+                cost=cost,
+                power_w=power,
+                feasible=False,
+                nodes_explored=steps,
+            )
+        levels[best_idx] -= 1
+        steps += 1
+
+
+def exynos_components(
+    big_perf: float = 1.0,
+    gpu_perf: float = 0.6,
+    little_perf: float = 0.25,
+    include_little: bool = False,
+) -> List[Component]:
+    """Chapter-7 component set built from the platform's OPP tables.
+
+    Power coefficients are calibrated so max-frequency powers match the
+    platform's ground truth (big ~2.6 W at 1.6 GHz, GPU ~1.5 W at 533 MHz).
+    """
+    from repro.platform.specs import (
+        BIG_FREQUENCIES_HZ,
+        GPU_FREQUENCIES_HZ,
+        LITTLE_FREQUENCIES_HZ,
+    )
+
+    comps = [
+        Component(
+            "big_cpu",
+            tuple(f / 1e9 for f in BIG_FREQUENCIES_HZ),
+            perf_coeff=big_perf,
+            power_coeff=2.6 / 1.6 ** 3,
+        ),
+        Component(
+            "gpu",
+            tuple(f / 1e9 for f in GPU_FREQUENCIES_HZ),
+            perf_coeff=gpu_perf,
+            power_coeff=1.5 / 0.533 ** 3,
+        ),
+    ]
+    if include_little:
+        comps.append(
+            Component(
+                "little_cpu",
+                tuple(f / 1e9 for f in LITTLE_FREQUENCIES_HZ),
+                perf_coeff=little_perf,
+                power_coeff=0.45 / 1.2 ** 3,
+            )
+        )
+    return comps

@@ -1,0 +1,273 @@
+"""The DTPM governor: prediction -> budget -> configuration (Fig. 3.1).
+
+Runs once per control interval (100 ms, whenever the cpufreq driver runs).
+It is deliberately *non-intrusive*: the stock governors' proposal passes
+through untouched unless a thermal violation is predicted within the
+1-second window, in which case the power budget machinery of Chapter 5
+overwrites the proposal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.budget import BudgetResult, PowerBudgetComputer
+from repro.core.policy import DtpmPolicy, PolicyDecision
+from repro.core.predictor import ThermalForecast, ThermalPredictor
+from repro.errors import BudgetError
+from repro.governors.base import PlatformConfig
+from repro.platform.board import SensorSnapshot
+from repro.platform.specs import PlatformSpec, POWER_RESOURCES, Resource
+from repro.power.model import OperatingPoint, PowerModel
+from repro.thermal.state_space import DiscreteThermalModel
+
+
+@dataclass
+class DtpmOutcome:
+    """Everything the DTPM governor did in one control interval."""
+
+    config: PlatformConfig
+    violation_predicted: bool
+    forecast: ThermalForecast
+    budget: Optional[BudgetResult] = None
+    decision: Optional[PolicyDecision] = None
+
+    @property
+    def intervened(self) -> bool:
+        """Whether the default proposal was overwritten."""
+        return self.decision is not None
+
+
+class DtpmGovernor:
+    """Predictive dynamic thermal and power management controller."""
+
+    def __init__(
+        self,
+        thermal_model: DiscreteThermalModel,
+        power_model: PowerModel,
+        spec: PlatformSpec = None,
+        config: SimulationConfig = None,
+        policy: DtpmPolicy = None,
+        guard_band_k: float = 0.75,
+        observer=None,
+    ) -> None:
+        self.spec = spec or PlatformSpec()
+        self.config = config or SimulationConfig()
+        self.power_model = power_model
+        #: Optional :class:`repro.thermal.observer.TemperatureObserver`.
+        #: When set, sensor temperatures are Kalman-filtered through the
+        #: identified model before prediction and budgeting (an extension;
+        #: the paper feeds raw sensor values, which is the default here).
+        self.observer = observer
+        self.predictor = ThermalPredictor(
+            thermal_model,
+            horizon_steps=self.config.prediction_horizon_steps,
+            guard_band_k=guard_band_k,
+        )
+        self.budget_computer = PowerBudgetComputer(
+            thermal_model, horizon_steps=self.config.prediction_horizon_steps
+        )
+        self.policy = policy or DtpmPolicy(self.spec, self.config)
+
+    def reset(self) -> None:
+        """Clear run-scoped state."""
+        self.policy.reset()
+        if self.observer is not None:
+            self.observer.reset()
+
+    # ------------------------------------------------------------------
+    def operating_point(self, config: PlatformConfig) -> OperatingPoint:
+        """Voltage/frequency of each resource under a configuration."""
+        big = little = None
+        if config.cluster is Resource.BIG:
+            big = (
+                self.spec.big_opp.voltage(config.big_freq_hz),
+                config.big_freq_hz,
+            )
+        else:
+            little = (
+                self.spec.little_opp.voltage(config.little_freq_hz),
+                config.little_freq_hz,
+            )
+        gpu = (
+            self.spec.gpu_opp.voltage(config.gpu_freq_hz),
+            config.gpu_freq_hz,
+        )
+        # Memory has no DVFS: model it at its fixed rail with unit frequency
+        # so the alpha*C tracker degenerates into a traffic tracker.
+        mem = (self.spec.mem_vdd, 1.0)
+        return OperatingPoint(big=big, little=little, gpu=gpu, mem=mem)
+
+    def predicted_power_vector(
+        self,
+        snapshot: SensorSnapshot,
+        current: PlatformConfig,
+        proposal: PlatformConfig,
+    ) -> np.ndarray:
+        """Power vector expected if the proposal is applied.
+
+        Resources whose operating point is unchanged keep their measured
+        power (best available estimate); changed resources are re-predicted
+        through the power model (Section 3: "the proposed power model uses
+        the choice made by the default configuration to predict the power
+        consumption before taking any action").
+        """
+        t_hot = float(np.max(snapshot.temperatures_k))
+        powers = snapshot.powers_w.astype(float).copy()
+        idx = {r: i for i, r in enumerate(POWER_RESOURCES)}
+
+        if proposal.cluster is Resource.BIG:
+            same = (
+                current.cluster is Resource.BIG
+                and abs(current.big_freq_hz - proposal.big_freq_hz) < 0.5
+                and current.big_online == proposal.big_online
+            )
+            if not same:
+                online_now = (
+                    current.big_online
+                    if current.cluster is Resource.BIG
+                    else proposal.big_online
+                )
+                powers[idx[Resource.BIG]] = self.policy.predicted_cluster_power_w(
+                    self.power_model,
+                    Resource.BIG,
+                    proposal.big_freq_hz,
+                    proposal.big_online,
+                    online_now,
+                    t_hot,
+                )
+                powers[idx[Resource.LITTLE]] = 0.0
+        else:
+            same = (
+                current.cluster is Resource.LITTLE
+                and abs(current.little_freq_hz - proposal.little_freq_hz) < 0.5
+            )
+            if not same:
+                online_now = (
+                    current.little_online
+                    if current.cluster is Resource.LITTLE
+                    else proposal.little_online
+                )
+                powers[idx[Resource.LITTLE]] = self.policy.predicted_cluster_power_w(
+                    self.power_model,
+                    Resource.LITTLE,
+                    proposal.little_freq_hz,
+                    proposal.little_online,
+                    online_now,
+                    t_hot,
+                )
+                powers[idx[Resource.BIG]] = 0.0
+
+        if abs(current.gpu_freq_hz - proposal.gpu_freq_hz) >= 0.5:
+            gpu_model = self.power_model[Resource.GPU]
+            v_new = self.spec.gpu_opp.voltage(proposal.gpu_freq_hz)
+            powers[idx[Resource.GPU]] = (
+                gpu_model.dynamic.predict_w(proposal.gpu_freq_hz, v_new)
+                + gpu_model.leakage.power_w(t_hot, v_new)
+            )
+        return powers
+
+    # ------------------------------------------------------------------
+    def control(
+        self,
+        snapshot: SensorSnapshot,
+        current: PlatformConfig,
+        proposal: PlatformConfig,
+        gpu_active: bool = False,
+    ) -> DtpmOutcome:
+        """One DTPM control interval.
+
+        Parameters
+        ----------
+        snapshot:
+            The sensor readings of this interval.
+        current:
+            The configuration the platform actually ran during the interval
+            (needed to attribute the measured powers to operating points).
+        proposal:
+            What the default governors want to run next.
+        gpu_active:
+            Whether the GPU is meaningfully loaded (drives the last-resort
+            GPU throttle).
+        """
+        # 1. feed the measurement into the power model (alpha*C tracking)
+        t_hot = float(np.max(snapshot.temperatures_k))
+        self.power_model.observe_vector(
+            snapshot.powers_w, t_hot, self.operating_point(current)
+        )
+
+        # optional state filtering through the identified model
+        temps_k = snapshot.temperatures_k
+        if self.observer is not None:
+            temps_k = self.observer.update(temps_k, snapshot.powers_w)
+
+        # 2. predict the thermal outcome of the default proposal
+        p_vec = self.predicted_power_vector(snapshot, current, proposal)
+        forecast = self.predictor.forecast(
+            temps_k, p_vec, self.config.t_constraint_k
+        )
+
+        if not forecast.violation:
+            # non-intrusive path; possibly migrate back to big
+            decision = self.policy.consider_return_to_big(
+                self.budget_computer,
+                self.power_model,
+                temps_k,
+                snapshot.powers_w,
+                proposal,
+                self.config.t_constraint_k,
+            )
+            return DtpmOutcome(
+                config=decision.config if decision else proposal,
+                violation_predicted=False,
+                forecast=forecast,
+                decision=decision,
+            )
+
+        # 3. violation predicted: compute the budget and reassign
+        resource = (
+            Resource.BIG if proposal.cluster is Resource.BIG else Resource.LITTLE
+        )
+        try:
+            budget = self.budget_computer.compute(
+                temps_k,
+                snapshot.powers_w,
+                self.config.t_constraint_k,
+                resource=resource,
+            )
+        except BudgetError:
+            # Unusable row: fall back to the most conservative safe config.
+            fallback = proposal.with_(
+                big_freq_hz=self.spec.big_opp.f_min_hz,
+                little_freq_hz=self.spec.little_opp.f_min_hz,
+            )
+            decision = PolicyDecision(config=fallback)
+            decision.actions.append("budget unsolvable; pinned f_min")
+            return DtpmOutcome(
+                config=fallback,
+                violation_predicted=True,
+                forecast=forecast,
+                decision=decision,
+            )
+
+        decision = self.policy.assign(
+            budget,
+            self.budget_computer,
+            self.power_model,
+            temps_k,
+            snapshot.powers_w,
+            proposal,
+            self.config.t_constraint_k,
+            gpu_active,
+        )
+        return DtpmOutcome(
+            config=decision.config,
+            violation_predicted=True,
+            forecast=forecast,
+            budget=budget,
+            decision=decision,
+        )

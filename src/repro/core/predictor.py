@@ -1,0 +1,78 @@
+"""Run-time thermal predictor (the "Temperature Prediction" block, Fig. 3.1).
+
+Wraps the identified :class:`DiscreteThermalModel` with the operations the
+DTPM loop needs every control interval: predict the temperature a horizon
+ahead for a hypothetical power vector, and flag predicted violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.thermal.state_space import DiscreteThermalModel
+
+
+@dataclass(frozen=True)
+class ThermalForecast:
+    """Prediction outcome for one candidate power vector."""
+
+    temps_k: np.ndarray
+    max_temp_k: float
+    hottest_core: int
+    violation: bool
+    margin_k: float  # constraint minus predicted max (negative = violation)
+
+
+class ThermalPredictor:
+    """Horizon-n temperature prediction against a constraint."""
+
+    def __init__(
+        self,
+        model: DiscreteThermalModel,
+        horizon_steps: int = 10,
+        guard_band_k: float = 0.0,
+    ) -> None:
+        if horizon_steps < 1:
+            raise ModelError("prediction horizon must be >= 1 step")
+        if guard_band_k < 0:
+            raise ModelError("guard band must be >= 0")
+        self.model = model
+        self.horizon_steps = horizon_steps
+        self.guard_band_k = guard_band_k
+
+    @property
+    def horizon_s(self) -> float:
+        """Prediction window in seconds."""
+        return self.horizon_steps * self.model.ts_s
+
+    def forecast(
+        self,
+        temps_k: np.ndarray,
+        powers_w: np.ndarray,
+        t_constraint_k: float,
+    ) -> ThermalForecast:
+        """Predict ``T[k+n]`` for a constant candidate power vector.
+
+        The violation test applies the guard band: a prediction within
+        ``guard_band_k`` of the constraint already counts as a violation so
+        the controller acts one interval early rather than one late.
+        """
+        pred = self.model.predict_n_constant(temps_k, powers_w, self.horizon_steps)
+        max_t = float(np.max(pred))
+        limit = t_constraint_k - self.guard_band_k
+        return ThermalForecast(
+            temps_k=pred,
+            max_temp_k=max_t,
+            hottest_core=int(np.argmax(pred)),
+            violation=max_t > limit,
+            margin_k=t_constraint_k - max_t,
+        )
+
+    def forecast_trajectory(
+        self, temps_k: np.ndarray, power_trajectory: np.ndarray
+    ) -> np.ndarray:
+        """Predicted temperatures over an explicit power trajectory."""
+        return self.model.predict_horizon(temps_k, power_trajectory)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the DTPM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from run-time model failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class PlatformError(ReproError):
+    """Invalid operation requested on the simulated platform."""
+
+
+class InvalidFrequencyError(PlatformError):
+    """A frequency outside the device's OPP table was requested."""
+
+    def __init__(self, frequency_hz: float, valid: tuple) -> None:
+        self.frequency_hz = frequency_hz
+        self.valid = tuple(valid)
+        super().__init__(
+            "frequency %.0f Hz is not in the OPP table %s"
+            % (frequency_hz, [f / 1e6 for f in self.valid])
+        )
+
+
+class ClusterStateError(PlatformError):
+    """Invalid cluster activation / hotplug request (e.g. zero active cores)."""
+
+
+class ModelError(ReproError):
+    """A power or thermal model failed or was used before being fitted."""
+
+
+class NotFittedError(ModelError):
+    """A model that requires fitting was used before ``fit`` was called."""
+
+
+class IdentificationError(ModelError):
+    """System identification could not produce a usable model."""
+
+
+class BudgetError(ReproError):
+    """Power-budget computation failed (e.g. non-positive budget row)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark or malformed workload trace."""

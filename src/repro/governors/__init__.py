@@ -1,0 +1,27 @@
+"""Linux-kernel governor substrates (cpufreq, hotplug, reactive thermal)."""
+
+from repro.governors.base import FrequencyGovernor, LoadSample, PlatformConfig
+from repro.governors.conservative import ConservativeGovernor
+from repro.governors.idle import IdleGovernor
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.performance import (
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.governors.reactive import ReactiveThrottleGovernor
+
+__all__ = [
+    "FrequencyGovernor",
+    "LoadSample",
+    "PlatformConfig",
+    "ConservativeGovernor",
+    "IdleGovernor",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "UserspaceGovernor",
+    "ReactiveThrottleGovernor",
+]

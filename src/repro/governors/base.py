@@ -1,0 +1,95 @@
+"""Governor interfaces and the platform configuration record.
+
+The paper's framework (Fig. 3.1) leaves the stock Linux governors in charge
+of the default decisions: a cpufreq governor per DVFS domain picks the
+frequency from utilisation, an idle governor picks the number of online
+cores, and the GPU driver scales the GPU.  The DTPM layer only *overwrites*
+these choices when a thermal violation is predicted.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.platform.specs import OppTable, Resource
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The complete actuator state the kernel controls.
+
+    This is what governors propose and what the DTPM algorithm overwrites:
+    the active CPU cluster, each domain's frequency and the number of
+    online big cores (Section 5.2's three knobs).
+    """
+
+    cluster: Resource
+    big_freq_hz: float
+    little_freq_hz: float
+    gpu_freq_hz: float
+    big_online: int
+    little_online: int
+
+    def __post_init__(self) -> None:
+        if self.cluster not in (Resource.BIG, Resource.LITTLE):
+            raise ConfigurationError("cluster must be BIG or LITTLE")
+        if not 1 <= self.big_online <= 4 or not 1 <= self.little_online <= 4:
+            raise ConfigurationError("online core counts must be in 1..4")
+
+    def with_(self, **changes) -> "PlatformConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def active_freq_hz(self) -> float:
+        """Frequency of the active CPU cluster."""
+        if self.cluster is Resource.BIG:
+            return self.big_freq_hz
+        return self.little_freq_hz
+
+    @property
+    def active_online(self) -> int:
+        """Online core count of the active CPU cluster."""
+        if self.cluster is Resource.BIG:
+            return self.big_online
+        return self.little_online
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """Per-interval load observation a cpufreq governor consumes."""
+
+    core_utilisations: Sequence[float]  # busy fraction of each online core
+    current_freq_hz: float
+    time_s: float
+
+    @property
+    def max_utilisation(self) -> float:
+        """Utilisation of the busiest core (ondemand's decision input)."""
+        if not self.core_utilisations:
+            return 0.0
+        return max(self.core_utilisations)
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Mean utilisation across online cores."""
+        if not self.core_utilisations:
+            return 0.0
+        return sum(self.core_utilisations) / len(self.core_utilisations)
+
+
+class FrequencyGovernor(abc.ABC):
+    """Interface of a cpufreq-style frequency governor."""
+
+    def __init__(self, opp_table: OppTable) -> None:
+        self.opp_table = opp_table
+
+    @abc.abstractmethod
+    def propose(self, sample: LoadSample) -> float:
+        """Return the frequency (an exact OPP entry) for the next interval."""
+
+    def reset(self) -> None:
+        """Clear internal state (new run)."""

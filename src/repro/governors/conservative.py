@@ -1,0 +1,46 @@
+"""The conservative cpufreq governor.
+
+The third classic Linux governor alongside ondemand and interactive:
+instead of jumping to f_max on load, it walks the OPP table one step at a
+time in either direction ("graceful" scaling, shipped for battery-minded
+configurations).  Included for completeness of the governor substrate --
+experiments can swap it in to study how the DTPM layer composes with a
+slower default governor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import FrequencyGovernor, LoadSample
+from repro.platform.specs import OppTable
+
+
+class ConservativeGovernor(FrequencyGovernor):
+    """Step-wise utilisation-driven governor."""
+
+    def __init__(
+        self,
+        opp_table: OppTable,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.20,
+        freq_step: int = 1,
+    ) -> None:
+        super().__init__(opp_table)
+        if not 0.0 <= down_threshold < up_threshold <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= down_threshold < up_threshold <= 1"
+            )
+        if freq_step < 1:
+            raise ConfigurationError("freq_step must be >= 1")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.freq_step = freq_step
+
+    def propose(self, sample: LoadSample) -> float:
+        current = self.opp_table.floor(sample.current_freq_hz)
+        load = sample.max_utilisation
+        if load > self.up_threshold:
+            return self.opp_table.step_up(current, self.freq_step)
+        if load < self.down_threshold:
+            return self.opp_table.step_down(current, self.freq_step)
+        return current

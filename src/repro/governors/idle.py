@@ -1,0 +1,63 @@
+"""Idle (hotplug) governor: decides how many cores stay online.
+
+"idle power management determines the number of active cores" (Ch. 1).
+This mirrors the simple load-driven hotplug daemons shipping on Exynos
+boards: bring a core up when the online ones are saturated, take one down
+after the load has fitted comfortably on fewer cores for a while.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+class IdleGovernor:
+    """Hysteretic core on/off policy from aggregate utilisation."""
+
+    def __init__(
+        self,
+        max_cores: int = 4,
+        up_threshold: float = 0.85,
+        down_threshold: float = 0.35,
+        down_delay_samples: int = 10,
+    ) -> None:
+        if max_cores < 1:
+            raise ConfigurationError("max_cores must be >= 1")
+        if not 0 <= down_threshold < up_threshold <= 1:
+            raise ConfigurationError(
+                "need 0 <= down_threshold < up_threshold <= 1"
+            )
+        self.max_cores = max_cores
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.down_delay_samples = down_delay_samples
+        self._down_count = 0
+
+    def propose(self, core_utilisations: Sequence[float], online: int) -> int:
+        """Number of cores to keep online next interval."""
+        if not 1 <= online <= self.max_cores:
+            raise ConfigurationError("online count out of range")
+        active = list(core_utilisations[:online])
+        mean_util = sum(active) / len(active)
+
+        if mean_util > self.up_threshold and online < self.max_cores:
+            self._down_count = 0
+            return online + 1
+
+        # Would the current load fit on one fewer core below the up
+        # threshold?  If so for long enough, take a core down.
+        if online > 1:
+            folded = mean_util * online / (online - 1)
+            if folded < self.down_threshold:
+                self._down_count += 1
+                if self._down_count >= self.down_delay_samples:
+                    self._down_count = 0
+                    return online - 1
+                return online
+        self._down_count = 0
+        return online
+
+    def reset(self) -> None:
+        self._down_count = 0

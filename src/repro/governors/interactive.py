@@ -1,0 +1,63 @@
+"""The Android "interactive" cpufreq governor.
+
+The paper's platform ships with "ondemand or interactive as the default
+governor".  Interactive differs from ondemand in ramp shape: on a load
+spike it jumps to an intermediate ``hispeed_freq`` first, holds it for
+``above_hispeed_delay`` samples before climbing further, and chooses
+frequencies from a ``target_load`` rather than an up-threshold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import FrequencyGovernor, LoadSample
+from repro.platform.specs import OppTable
+
+
+class InteractiveGovernor(FrequencyGovernor):
+    """Latency-oriented governor used by stock Android images."""
+
+    def __init__(
+        self,
+        opp_table: OppTable,
+        target_load: float = 0.90,
+        go_hispeed_load: float = 0.99,
+        hispeed_freq_hz: float = None,
+        above_hispeed_delay: int = 2,
+    ) -> None:
+        super().__init__(opp_table)
+        if not 0.0 < target_load <= 1.0:
+            raise ConfigurationError("target_load must be in (0, 1]")
+        if not 0.0 < go_hispeed_load <= 1.0:
+            raise ConfigurationError("go_hispeed_load must be in (0, 1]")
+        if above_hispeed_delay < 0:
+            raise ConfigurationError("above_hispeed_delay must be >= 0")
+        self.target_load = target_load
+        self.go_hispeed_load = go_hispeed_load
+        if hispeed_freq_hz is None:
+            # stock images pick a ~75th percentile OPP
+            idx = int(0.75 * (len(opp_table) - 1))
+            hispeed_freq_hz = opp_table.frequencies_hz[idx]
+        self.hispeed_freq_hz = opp_table.validate(hispeed_freq_hz)
+        self.above_hispeed_delay = above_hispeed_delay
+        self._hispeed_hold = 0
+
+    def propose(self, sample: LoadSample) -> float:
+        load = sample.max_utilisation
+        current = self.opp_table.floor(sample.current_freq_hz)
+
+        if load >= self.go_hispeed_load:
+            if current < self.hispeed_freq_hz:
+                self._hispeed_hold = 0
+                return self.hispeed_freq_hz
+            self._hispeed_hold += 1
+            if self._hispeed_hold > self.above_hispeed_delay:
+                return self.opp_table.f_max_hz
+            return current
+
+        self._hispeed_hold = 0
+        target = sample.current_freq_hz * load / self.target_load
+        return self.opp_table.ceil(target)
+
+    def reset(self) -> None:
+        self._hispeed_hold = 0

@@ -1,0 +1,62 @@
+"""The ondemand cpufreq governor (Pallipadi & Starikovskiy, OLS 2006).
+
+The paper's default configuration runs ondemand [36]: "The governor
+activates at a specific period, checks the device utilizations, and makes
+changes to the configuration."  Semantics reproduced here:
+
+* if the busiest core's utilisation exceeds ``up_threshold`` (stock: 80 %),
+  jump straight to the maximum frequency;
+* otherwise pick the lowest frequency that would keep utilisation just
+  below the threshold (proportional scaling), quantised up to the table;
+* frequency decreases are delayed by ``sampling_down_factor`` consecutive
+  below-threshold samples to avoid thrashing on bursty load.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import FrequencyGovernor, LoadSample
+from repro.platform.specs import OppTable
+
+
+class OndemandGovernor(FrequencyGovernor):
+    """Utilisation-driven governor with jump-to-max semantics."""
+
+    def __init__(
+        self,
+        opp_table: OppTable,
+        up_threshold: float = 0.80,
+        sampling_down_factor: int = 3,
+    ) -> None:
+        super().__init__(opp_table)
+        if not 0.0 < up_threshold <= 1.0:
+            raise ConfigurationError("up_threshold must be in (0, 1]")
+        if sampling_down_factor < 1:
+            raise ConfigurationError("sampling_down_factor must be >= 1")
+        self.up_threshold = up_threshold
+        self.sampling_down_factor = sampling_down_factor
+        self._below_count = 0
+
+    def propose(self, sample: LoadSample) -> float:
+        load = sample.max_utilisation
+        if load > self.up_threshold:
+            self._below_count = 0
+            return self.opp_table.f_max_hz
+
+        # Target the frequency that would run this load at the threshold.
+        target = sample.current_freq_hz * load / self.up_threshold
+        target_quantised = self.opp_table.ceil(target)
+        if target_quantised >= sample.current_freq_hz:
+            self._below_count = 0
+            return self.opp_table.validate(
+                self.opp_table.floor(sample.current_freq_hz)
+            )
+
+        self._below_count += 1
+        if self._below_count >= self.sampling_down_factor:
+            self._below_count = 0
+            return target_quantised
+        return self.opp_table.validate(self.opp_table.floor(sample.current_freq_hz))
+
+    def reset(self) -> None:
+        self._below_count = 0

@@ -1,0 +1,43 @@
+"""Trivial cpufreq governors: performance, powersave, userspace."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import FrequencyGovernor, LoadSample
+from repro.platform.specs import OppTable
+
+
+class PerformanceGovernor(FrequencyGovernor):
+    """Always the maximum frequency."""
+
+    def propose(self, sample: LoadSample) -> float:
+        return self.opp_table.f_max_hz
+
+
+class PowersaveGovernor(FrequencyGovernor):
+    """Always the minimum frequency."""
+
+    def propose(self, sample: LoadSample) -> float:
+        return self.opp_table.f_min_hz
+
+
+class UserspaceGovernor(FrequencyGovernor):
+    """Pinned to a user-selected OPP (used by the PRBS rigs and tests)."""
+
+    def __init__(self, opp_table: OppTable, frequency_hz: float = None) -> None:
+        super().__init__(opp_table)
+        if frequency_hz is None:
+            frequency_hz = opp_table.f_min_hz
+        self._frequency_hz = opp_table.validate(frequency_hz)
+
+    @property
+    def frequency_hz(self) -> float:
+        """The pinned frequency."""
+        return self._frequency_hz
+
+    def set_frequency(self, frequency_hz: float) -> None:
+        """Re-pin to another exact OPP entry."""
+        self._frequency_hz = self.opp_table.validate(frequency_hz)
+
+    def propose(self, sample: LoadSample) -> float:
+        return self._frequency_hz

@@ -1,0 +1,74 @@
+"""Reactive throttling heuristic (Section 6.2's third configuration).
+
+"We also implemented a heuristic thermal management algorithm which mimics
+the fan control algorithm.  Instead of increasing the fan speed, this
+heuristic throttles the frequency by 18 % and 25 % when the temperature
+passes 63 degC and 68 degC, respectively."
+
+This is the baseline the DTPM algorithm beats on performance (~20 % loss,
+Section 6.3.3): it reacts only after the threshold is crossed, and its
+throttling steps are fixed rather than budget-sized.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.governors.base import PlatformConfig
+from repro.platform.specs import OppTable
+from repro.units import celsius_to_kelvin
+
+
+class ReactiveThrottleGovernor:
+    """Threshold-triggered fixed-ratio frequency throttling."""
+
+    def __init__(
+        self,
+        opp_table: OppTable,
+        first_threshold_c: float = 63.0,
+        second_threshold_c: float = 68.0,
+        first_throttle: float = 0.18,
+        second_throttle: float = 0.25,
+        release_hysteresis_c: float = 6.0,
+    ) -> None:
+        if second_threshold_c <= first_threshold_c:
+            raise ConfigurationError("thresholds must increase")
+        if not 0 < first_throttle < 1 or not 0 < second_throttle < 1:
+            raise ConfigurationError("throttle ratios must be in (0, 1)")
+        self.opp_table = opp_table
+        self.first_threshold_k = celsius_to_kelvin(first_threshold_c)
+        self.second_threshold_k = celsius_to_kelvin(second_threshold_c)
+        self.first_throttle = first_throttle
+        self.second_throttle = second_throttle
+        self.release_hysteresis_k = release_hysteresis_c
+        self._level = 0  # 0 = none, 1 = -18 %, 2 = -25 %
+
+    @property
+    def level(self) -> int:
+        """Current throttle level (0/1/2)."""
+        return self._level
+
+    def control(
+        self, max_temp_k: float, proposal: PlatformConfig
+    ) -> PlatformConfig:
+        """Apply the reactive cap to the default governor's proposal."""
+        if max_temp_k > self.second_threshold_k:
+            self._level = 2
+        elif max_temp_k > self.first_threshold_k:
+            self._level = max(self._level, 1)
+        elif self._level == 2 and max_temp_k < self.second_threshold_k - self.release_hysteresis_k:
+            self._level = 1
+        elif self._level == 1 and max_temp_k < self.first_threshold_k - self.release_hysteresis_k:
+            self._level = 0
+
+        if self._level == 0:
+            return proposal
+        ratio = self.first_throttle if self._level == 1 else self.second_throttle
+        capped = self.opp_table.floor(proposal.big_freq_hz * (1.0 - ratio))
+        if capped >= proposal.big_freq_hz:
+            capped = self.opp_table.step_down(
+                self.opp_table.floor(proposal.big_freq_hz)
+            )
+        return proposal.with_(big_freq_hz=capped)
+
+    def reset(self) -> None:
+        self._level = 0

@@ -1,0 +1,60 @@
+"""Simulated Odroid-XU+E / Exynos 5410 platform substrate."""
+
+from repro.platform.board import OdroidBoard, SensorSnapshot
+from repro.platform.cluster import ClusterPower, CpuCluster
+from repro.platform.fan import Fan, FanSpeed, FanThresholds
+from repro.platform.gpu import GpuDevice
+from repro.platform.memory import MemoryDevice
+from repro.platform.power_meter import PlatformPowerMeter
+from repro.platform.sensors import PowerSensor, SensorBank, TemperatureSensor
+from repro.platform.soc import ExynosSoc, SocPowerState
+from repro.platform.specs import (
+    BIG_FREQUENCIES_HZ,
+    BIG_OPP_TABLE,
+    CORES_PER_CLUSTER,
+    GPU_FREQUENCIES_HZ,
+    GPU_OPP_TABLE,
+    LITTLE_FREQUENCIES_HZ,
+    LITTLE_OPP_TABLE,
+    POWER_RESOURCES,
+    CoreSpec,
+    LeakageSpec,
+    OppTable,
+    PlatformSpec,
+    Resource,
+    VoltageCurve,
+    opp_table_for,
+)
+
+__all__ = [
+    "OdroidBoard",
+    "SensorSnapshot",
+    "ClusterPower",
+    "CpuCluster",
+    "Fan",
+    "FanSpeed",
+    "FanThresholds",
+    "GpuDevice",
+    "MemoryDevice",
+    "PlatformPowerMeter",
+    "PowerSensor",
+    "SensorBank",
+    "TemperatureSensor",
+    "ExynosSoc",
+    "SocPowerState",
+    "BIG_FREQUENCIES_HZ",
+    "BIG_OPP_TABLE",
+    "CORES_PER_CLUSTER",
+    "GPU_FREQUENCIES_HZ",
+    "GPU_OPP_TABLE",
+    "LITTLE_FREQUENCIES_HZ",
+    "LITTLE_OPP_TABLE",
+    "POWER_RESOURCES",
+    "CoreSpec",
+    "LeakageSpec",
+    "OppTable",
+    "PlatformSpec",
+    "Resource",
+    "VoltageCurve",
+    "opp_table_for",
+]

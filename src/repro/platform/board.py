@@ -1,0 +1,181 @@
+"""The Odroid-XU+E development board: SoC + fan + sensors + power meter.
+
+This is the top-level "device under test".  The simulation engine drives
+it; the DTPM controller observes it exclusively through
+:meth:`OdroidBoard.read_sensors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.platform.fan import Fan, FanThresholds
+from repro.platform.power_meter import PlatformPowerMeter
+from repro.platform.sensors import SensorBank
+from repro.platform.soc import ExynosSoc, SocPowerState
+from repro.platform.specs import PlatformSpec, Resource
+from repro.thermal import floorplan
+from repro.thermal.rc_network import ThermalRCNetwork
+from repro.units import celsius_to_kelvin
+
+
+@dataclass
+class SensorSnapshot:
+    """What the controller sees at one control interval.
+
+    ``temperatures_k`` has one entry per big core (the hotspots);
+    ``powers_w`` follows the ``[big, little, gpu, mem]`` layout.
+    """
+
+    time_s: float
+    temperatures_k: np.ndarray
+    powers_w: np.ndarray
+    platform_power_w: float
+
+    @property
+    def max_temperature_k(self) -> float:
+        """Hottest sensed core temperature."""
+        return float(np.max(self.temperatures_k))
+
+    @property
+    def hottest_core(self) -> int:
+        """Index of the hottest sensed core."""
+        return int(np.argmax(self.temperatures_k))
+
+
+class OdroidBoard:
+    """Complete simulated platform with ground truth and sensor views."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec = None,
+        config: SimulationConfig = None,
+        rng: np.random.Generator = None,
+        fan_enabled: bool = True,
+        thermal_constants: dict = None,
+    ) -> None:
+        self.spec = spec or PlatformSpec()
+        self.config = config or SimulationConfig()
+        self.rng = rng or np.random.default_rng(self.config.seed)
+        self.soc = ExynosSoc(self.spec)
+        self.fan = Fan(
+            self.spec.fan_power_w,
+            self.spec.fan_conductance_gain,
+            FanThresholds(),
+            enabled=fan_enabled,
+        )
+        self.network: ThermalRCNetwork = floorplan.build_exynos_network(
+            self.config.ambient_k, thermal_constants
+        )
+        self.sensors = SensorBank(
+            self.rng,
+            temp_noise_k=self.config.temp_sensor_noise_c,
+            temp_quantum_k=self.config.temp_sensor_quantum_c,
+            power_noise_rel=self.config.power_sensor_noise_rel,
+        )
+        self.meter = PlatformPowerMeter(self.rng)
+        self._time_s = 0.0
+        self._last_power_state: SocPowerState = None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def time_s(self) -> float:
+        """Simulated wall-clock time (s)."""
+        return self._time_s
+
+    def warm_start(self, hotspot_c: float, case_c: float = None) -> None:
+        """Pre-heat the device as after boot + prior use.
+
+        The paper's traces start well above ambient (the board has been
+        running the OS and previous benchmarks); experiments reproduce that
+        by warm-starting the plant.
+        """
+        if case_c is None:
+            case_c = hotspot_c - 6.0
+        temps = np.full(
+            self.network.num_nodes, celsius_to_kelvin(hotspot_c) - 2.0
+        )
+        for name in floorplan.BIG_CORE_NODES:
+            temps[self.network.index(name)] = celsius_to_kelvin(hotspot_c)
+        temps[self.network.index(floorplan.CASE_NODE)] = celsius_to_kelvin(case_c)
+        temps[self.network.index(floorplan.BOARD_NODE)] = celsius_to_kelvin(
+            case_c - 4.0
+        )
+        self.network.set_temperatures_k(temps)
+
+    def true_hotspots_k(self) -> np.ndarray:
+        """Ground-truth hotspot (big core) temperatures (K)."""
+        return floorplan.hotspot_temperatures_k(self.network)
+
+    def true_platform_power_w(self) -> float:
+        """Ground-truth platform power of the last evaluated interval."""
+        soc_w = self._last_power_state.total_w if self._last_power_state else 0.0
+        return soc_w + self.fan.power_w + self.spec.platform_static_power_w
+
+    # ------------------------------------------------------------------
+    # one simulation substep
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        big_core_utils,
+        little_core_utils,
+        gpu_utilisation: float,
+        mem_traffic: float,
+        dt_s: float,
+        cpu_activity: float = 1.0,
+        gpu_activity: float = 1.0,
+    ) -> SocPowerState:
+        """Advance the physical platform by ``dt_s``.
+
+        Evaluates ground-truth power at the current temperatures, injects it
+        into the thermal network, integrates the network, updates the fan
+        controller, and accounts platform energy.
+        """
+        self.soc.gpu.set_utilisation(gpu_utilisation)
+        self.soc.mem.set_traffic(mem_traffic)
+        temps = floorplan.resource_temperatures_k(self.network)
+        state = self.soc.power_state(
+            temps,
+            big_core_utils,
+            little_core_utils,
+            cpu_activity,
+            gpu_activity,
+        )
+        self._last_power_state = state
+
+        node_p = floorplan.node_powers(
+            self.network,
+            state.big_core_powers_w,
+            state.per_resource[Resource.LITTLE].total_w,
+            state.per_resource[Resource.GPU].total_w,
+            state.per_resource[Resource.MEM].total_w,
+        )
+        self.network.step(node_p, dt_s)
+
+        max_hot = float(np.max(self.true_hotspots_k()))
+        self.fan.update(max_hot)
+        self.network.set_cooling_gain(self.fan.conductance_gain)
+
+        self.meter.sample(self.true_platform_power_w(), dt_s)
+        self._time_s += dt_s
+        return state
+
+    def read_sensors(self) -> SensorSnapshot:
+        """Noisy sensor view of the platform (what the controller sees)."""
+        state = self._last_power_state
+        powers = (
+            state.resource_vector_w()
+            if state is not None
+            else np.zeros(len(self.sensors.power))
+        )
+        return SensorSnapshot(
+            time_s=self._time_s,
+            temperatures_k=self.sensors.read_temperatures(self.true_hotspots_k()),
+            powers_w=self.sensors.read_powers(powers),
+            platform_power_w=self.meter.last_reading_w,
+        )

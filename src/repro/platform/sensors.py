@@ -1,0 +1,110 @@
+"""Sensor models: on-die thermal sensors and INA231-style power sensors.
+
+The DTPM stack only ever observes the platform through these sensors
+(Section 6.1.2).  Both add realistic imperfections -- quantisation for the
+TMU (which reports coarse steps) and relative Gaussian noise for the power
+monitors -- so that the identified thermal model and the run-time alpha*C
+estimate carry the same error structure as on real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class TemperatureSensor:
+    """One on-die thermal sensor with Gaussian noise and quantisation."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        noise_sigma_k: float = 0.15,
+        quantum_k: float = 0.25,
+    ) -> None:
+        if noise_sigma_k < 0 or quantum_k < 0:
+            raise ConfigurationError("sensor noise/quantum must be >= 0")
+        self._rng = rng
+        self.noise_sigma_k = noise_sigma_k
+        self.quantum_k = quantum_k
+
+    def read(self, true_temperature_k: float) -> float:
+        """One noisy, quantised reading of the true temperature (K)."""
+        value = true_temperature_k
+        if self.noise_sigma_k > 0:
+            value += self._rng.normal(0.0, self.noise_sigma_k)
+        if self.quantum_k > 0:
+            value = round(value / self.quantum_k) * self.quantum_k
+        return value
+
+
+class PowerSensor:
+    """One current/voltage monitor reporting power with relative noise."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        relative_noise: float = 0.01,
+        floor_w: float = 0.001,
+    ) -> None:
+        if relative_noise < 0:
+            raise ConfigurationError("relative noise must be >= 0")
+        self._rng = rng
+        self.relative_noise = relative_noise
+        self.floor_w = floor_w
+
+    def read(self, true_power_w: float) -> float:
+        """One noisy reading of the true power (W); never negative."""
+        value = true_power_w
+        if self.relative_noise > 0:
+            value *= 1.0 + self._rng.normal(0.0, self.relative_noise)
+        return max(self.floor_w, value)
+
+
+class SensorBank:
+    """The platform's full sensor complement.
+
+    Four thermal sensors (one per big core -- the hotspots) and four power
+    sensors (big cluster, little cluster, GPU, memory), mirroring the
+    Odroid-XU+E instrumentation.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_thermal: int = 4,
+        num_power: int = 4,
+        temp_noise_k: float = 0.15,
+        temp_quantum_k: float = 0.25,
+        power_noise_rel: float = 0.01,
+    ) -> None:
+        self.thermal: List[TemperatureSensor] = [
+            TemperatureSensor(rng, temp_noise_k, temp_quantum_k)
+            for _ in range(num_thermal)
+        ]
+        self.power: List[PowerSensor] = [
+            PowerSensor(rng, power_noise_rel) for _ in range(num_power)
+        ]
+
+    def read_temperatures(self, true_temps_k: Sequence[float]) -> np.ndarray:
+        """Read all thermal sensors against the true hotspot temperatures."""
+        if len(true_temps_k) != len(self.thermal):
+            raise ConfigurationError(
+                "expected %d temperatures, got %d"
+                % (len(self.thermal), len(true_temps_k))
+            )
+        return np.array(
+            [s.read(t) for s, t in zip(self.thermal, true_temps_k)]
+        )
+
+    def read_powers(self, true_powers_w: Sequence[float]) -> np.ndarray:
+        """Read all power sensors against the true per-resource powers."""
+        if len(true_powers_w) != len(self.power):
+            raise ConfigurationError(
+                "expected %d powers, got %d"
+                % (len(self.power), len(true_powers_w))
+            )
+        return np.array([s.read(p) for s, p in zip(self.power, true_powers_w)])

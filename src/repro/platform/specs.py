@@ -1,0 +1,342 @@
+"""Static specifications of the simulated Odroid-XU+E / Exynos 5410 platform.
+
+This module is the single source of truth for:
+
+* the discrete OPP (operating performance point) tables of the big CPU
+  cluster, the little CPU cluster and the GPU -- Tables 6.1, 6.2 and 6.3 of
+  the paper, reproduced verbatim;
+* the voltage/frequency curves used by the dynamic power model;
+* the calibration constants of the *ground-truth* platform (leakage
+  coefficients, switching capacitances, performance scaling).  The DTPM
+  controller never reads these constants directly: it has to recover them
+  through the characterization and system-identification workflows of
+  Chapter 4, exactly like the paper does on real silicon.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError, InvalidFrequencyError
+from repro.units import mhz
+
+
+class Resource(enum.Enum):
+    """A separately power-measurable resource of the heterogeneous MPSoC.
+
+    The order of :data:`POWER_RESOURCES` fixes the layout of the power
+    vector ``P = [P_big, P_little, P_gpu, P_mem]`` used throughout the
+    thermal model (Eq. 5.3 of the paper).
+    """
+
+    BIG = "big"
+    LITTLE = "little"
+    GPU = "gpu"
+    MEM = "mem"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Layout of the power vector ``P[k]`` (Eq. 5.3).
+POWER_RESOURCES: Tuple[Resource, ...] = (
+    Resource.BIG,
+    Resource.LITTLE,
+    Resource.GPU,
+    Resource.MEM,
+)
+
+#: Number of cores per CPU cluster on the Exynos 5410.
+CORES_PER_CLUSTER = 4
+
+#: Number of thermal hotspots (one sensor per big core).
+NUM_THERMAL_SENSORS = 4
+
+# ---------------------------------------------------------------------------
+# Tables 6.1 - 6.3: discrete frequency levels
+# ---------------------------------------------------------------------------
+
+#: Table 6.1 -- frequency table for the big CPU cluster (Hz).
+BIG_FREQUENCIES_HZ: Tuple[float, ...] = tuple(
+    mhz(f) for f in (800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600)
+)
+
+#: Table 6.2 -- frequency table for the little CPU cluster (Hz).
+LITTLE_FREQUENCIES_HZ: Tuple[float, ...] = tuple(
+    mhz(f) for f in (500, 600, 700, 800, 900, 1000, 1100, 1200)
+)
+
+#: Table 6.3 -- frequency table for the GPU (Hz).
+GPU_FREQUENCIES_HZ: Tuple[float, ...] = tuple(
+    mhz(f) for f in (177, 266, 350, 480, 533)
+)
+
+
+@dataclass(frozen=True)
+class VoltageCurve:
+    """Linear supply-voltage curve V(f) between two anchor OPPs.
+
+    Real OPP tables store one voltage per frequency step; a two-point linear
+    interpolation matches the published Exynos 5410 tables to within a few
+    millivolts and keeps the model analytic (Eq. 5.7 solves for f given V).
+    """
+
+    f_low_hz: float
+    v_low: float
+    f_high_hz: float
+    v_high: float
+
+    def __post_init__(self) -> None:
+        if self.f_high_hz <= self.f_low_hz:
+            raise ConfigurationError("voltage curve requires f_high > f_low")
+        if self.v_high < self.v_low:
+            raise ConfigurationError("voltage must be non-decreasing in f")
+
+    def voltage(self, frequency_hz: float) -> float:
+        """Supply voltage (V) at ``frequency_hz`` (linearly extrapolated)."""
+        slope = (self.v_high - self.v_low) / (self.f_high_hz - self.f_low_hz)
+        return self.v_low + slope * (frequency_hz - self.f_low_hz)
+
+
+@dataclass(frozen=True)
+class OppTable:
+    """Ordered table of discrete operating points with a voltage curve."""
+
+    name: str
+    frequencies_hz: Tuple[float, ...]
+    voltage_curve: VoltageCurve
+
+    def __post_init__(self) -> None:
+        freqs = tuple(self.frequencies_hz)
+        if len(freqs) < 2:
+            raise ConfigurationError("an OPP table needs at least two points")
+        if any(b <= a for a, b in zip(freqs, freqs[1:])):
+            raise ConfigurationError("OPP frequencies must strictly increase")
+        object.__setattr__(self, "frequencies_hz", freqs)
+
+    # -- basic accessors ----------------------------------------------------
+    @property
+    def f_min_hz(self) -> float:
+        """Lowest supported frequency."""
+        return self.frequencies_hz[0]
+
+    @property
+    def f_max_hz(self) -> float:
+        """Highest supported frequency."""
+        return self.frequencies_hz[-1]
+
+    def __len__(self) -> int:
+        return len(self.frequencies_hz)
+
+    def __contains__(self, frequency_hz: float) -> bool:
+        return any(abs(f - frequency_hz) < 0.5 for f in self.frequencies_hz)
+
+    def index_of(self, frequency_hz: float) -> int:
+        """Index of an exact table frequency; raises if not present."""
+        for i, f in enumerate(self.frequencies_hz):
+            if abs(f - frequency_hz) < 0.5:
+                return i
+        raise InvalidFrequencyError(frequency_hz, self.frequencies_hz)
+
+    def validate(self, frequency_hz: float) -> float:
+        """Return ``frequency_hz`` if it is a table entry, else raise."""
+        return self.frequencies_hz[self.index_of(frequency_hz)]
+
+    # -- quantisation helpers used by governors and the DTPM policy ---------
+    def floor(self, frequency_hz: float) -> float:
+        """Largest table frequency that does not exceed ``frequency_hz``.
+
+        Falls back to ``f_min`` when the request is below the whole table,
+        which is the behaviour of the kernel's cpufreq frequency resolution.
+        """
+        idx = bisect.bisect_right(
+            [f - 0.5 for f in self.frequencies_hz], frequency_hz
+        )
+        if idx == 0:
+            return self.f_min_hz
+        return self.frequencies_hz[idx - 1]
+
+    def ceil(self, frequency_hz: float) -> float:
+        """Smallest table frequency that is >= ``frequency_hz`` (or f_max)."""
+        for f in self.frequencies_hz:
+            if f + 0.5 >= frequency_hz:
+                return f
+        return self.f_max_hz
+
+    def step_down(self, frequency_hz: float, steps: int = 1) -> float:
+        """Frequency ``steps`` table entries below the given one (clamped)."""
+        idx = max(0, self.index_of(frequency_hz) - steps)
+        return self.frequencies_hz[idx]
+
+    def step_up(self, frequency_hz: float, steps: int = 1) -> float:
+        """Frequency ``steps`` table entries above the given one (clamped)."""
+        idx = min(len(self) - 1, self.index_of(frequency_hz) + steps)
+        return self.frequencies_hz[idx]
+
+    def voltage(self, frequency_hz: float) -> float:
+        """Supply voltage at ``frequency_hz`` from the cluster V/f curve."""
+        return self.voltage_curve.voltage(frequency_hz)
+
+
+#: Voltage/frequency curves calibrated to published Exynos 5410 OPPs.
+BIG_VOLTAGE_CURVE = VoltageCurve(mhz(800), 0.92, mhz(1600), 1.25)
+LITTLE_VOLTAGE_CURVE = VoltageCurve(mhz(500), 0.90, mhz(1200), 1.10)
+GPU_VOLTAGE_CURVE = VoltageCurve(mhz(177), 0.90, mhz(533), 1.10)
+
+BIG_OPP_TABLE = OppTable("big", BIG_FREQUENCIES_HZ, BIG_VOLTAGE_CURVE)
+LITTLE_OPP_TABLE = OppTable("little", LITTLE_FREQUENCIES_HZ, LITTLE_VOLTAGE_CURVE)
+GPU_OPP_TABLE = OppTable("gpu", GPU_FREQUENCIES_HZ, GPU_VOLTAGE_CURVE)
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth calibration of the simulated silicon
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LeakageSpec:
+    """Ground-truth leakage parameters of one resource (Eq. 4.2).
+
+    ``I_leak(T) = c1 * T^2 * exp(c2 / T) + i_gate`` with T in Kelvin, and
+    ``P_leak = Vdd * I_leak(T)``.  ``c2`` is negative (the condensed form of
+    ``-q*Vth / (n*k*T)``), which makes leakage grow super-linearly with
+    temperature, ~3.6x from 40 C to 80 C for the big cluster -- the range
+    shown in Fig. 4.3.
+    """
+
+    c1: float
+    c2: float
+    i_gate: float
+
+    def current(self, temperature_k: float) -> float:
+        """Leakage current (A) at the given junction temperature (K)."""
+        if temperature_k <= 0:
+            raise ConfigurationError("temperature must be positive Kelvin")
+        import math
+
+        return self.c1 * temperature_k ** 2 * math.exp(self.c2 / temperature_k) + self.i_gate
+
+    def power(self, temperature_k: float, vdd: float) -> float:
+        """Leakage power (W) at temperature (K) and supply voltage (V)."""
+        return vdd * self.current(temperature_k)
+
+
+#: Big-cluster leakage: ~0.075 W @ 40 C -> ~0.27 W @ 80 C at Vdd = 0.92 V.
+BIG_LEAKAGE = LeakageSpec(c1=7.7e-3, c2=-2900.0, i_gate=0.010)
+#: Little cluster: small in-order cores, roughly a quarter of big's leakage.
+LITTLE_LEAKAGE = LeakageSpec(c1=1.9e-3, c2=-2900.0, i_gate=0.004)
+#: GPU: large but lower-leakage process corner.
+GPU_LEAKAGE = LeakageSpec(c1=4.4e-3, c2=-2900.0, i_gate=0.006)
+#: Memory controller + LPDDR interface.
+MEM_LEAKAGE = LeakageSpec(c1=2.2e-3, c2=-2900.0, i_gate=0.004)
+
+LEAKAGE_SPECS: Dict[Resource, LeakageSpec] = {
+    Resource.BIG: BIG_LEAKAGE,
+    Resource.LITTLE: LITTLE_LEAKAGE,
+    Resource.GPU: GPU_LEAKAGE,
+    Resource.MEM: MEM_LEAKAGE,
+}
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Ground-truth per-core dynamic power / performance parameters."""
+
+    #: Effective switching capacitance (F) at 100 % utilisation for a
+    #: *typical* workload; the workload's activity factor scales this.
+    switching_capacitance_f: float
+    #: Instructions-per-cycle scaling relative to a big core.
+    ipc_factor: float
+
+    def dynamic_power(
+        self, frequency_hz: float, vdd: float, utilisation: float, activity: float = 1.0
+    ) -> float:
+        """Dynamic power (W) of one core: ``alpha*C * V^2 * f * u``."""
+        u = max(0.0, min(1.0, utilisation))
+        return activity * self.switching_capacitance_f * vdd ** 2 * frequency_hz * u
+
+
+#: A15 out-of-order core: 0.25 nF effective capacitance at alpha = 1.
+BIG_CORE = CoreSpec(switching_capacitance_f=0.28e-9, ipc_factor=1.0)
+#: A7 in-order core: much smaller, about half the per-clock performance.
+LITTLE_CORE = CoreSpec(switching_capacitance_f=0.08e-9, ipc_factor=0.55)
+#: GPU treated as a single device with one large capacitance.
+GPU_DEVICE_CAPACITANCE_F = 2.0e-9
+#: Memory dynamic energy proxy: W per unit of normalised traffic.
+MEM_DYNAMIC_FULL_TRAFFIC_W = 0.45
+#: Memory supply voltage (fixed; LPDDR rail is not DVFS-controlled here).
+MEM_VDD = 1.2
+
+#: Board + display + rails power floor (W), outside the SoC but inside the
+#: platform power meter reading.  Sized so that a 0.2 W fan is ~3 % of the
+#: platform power of a low-activity workload (the paper's Dijkstra datum).
+PLATFORM_STATIC_POWER_W = 2.60
+
+#: Fan electrical power (W) at the OFF/LOW/MID/HIGH speeds.
+FAN_POWER_W: Tuple[float, float, float, float] = (0.0, 0.35, 0.60, 1.00)
+
+#: Multiplier on the case->ambient thermal conductance at each fan speed.
+FAN_CONDUCTANCE_GAIN: Tuple[float, float, float, float] = (1.0, 1.15, 2.6, 3.6)
+
+#: Cost (seconds of lost work) of migrating all tasks across clusters.
+CLUSTER_MIGRATION_PENALTY_S = 0.060
+
+#: Cost (seconds of lost work) of a core hotplug on/off event.
+HOTPLUG_PENALTY_S = 0.012
+
+
+def opp_table_for(resource: Resource) -> OppTable:
+    """OPP table of a DVFS-capable resource (BIG / LITTLE / GPU)."""
+    tables = {
+        Resource.BIG: BIG_OPP_TABLE,
+        Resource.LITTLE: LITTLE_OPP_TABLE,
+        Resource.GPU: GPU_OPP_TABLE,
+    }
+    try:
+        return tables[resource]
+    except KeyError:
+        raise ConfigurationError("%s has no OPP table" % resource) from None
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Bundle of all ground-truth constants describing one platform.
+
+    A default-constructed :class:`PlatformSpec` is the Odroid-XU+E.  Tests
+    construct modified instances (e.g. hotter leakage corners) to verify the
+    characterization pipeline recovers whatever the silicon actually does.
+    """
+
+    big_opp: OppTable = BIG_OPP_TABLE
+    little_opp: OppTable = LITTLE_OPP_TABLE
+    gpu_opp: OppTable = GPU_OPP_TABLE
+    big_core: CoreSpec = BIG_CORE
+    little_core: CoreSpec = LITTLE_CORE
+    gpu_capacitance_f: float = GPU_DEVICE_CAPACITANCE_F
+    mem_full_traffic_w: float = MEM_DYNAMIC_FULL_TRAFFIC_W
+    mem_vdd: float = MEM_VDD
+    leakage: Dict[Resource, LeakageSpec] = field(
+        default_factory=lambda: dict(LEAKAGE_SPECS)
+    )
+    platform_static_power_w: float = PLATFORM_STATIC_POWER_W
+    fan_power_w: Tuple[float, ...] = FAN_POWER_W
+    fan_conductance_gain: Tuple[float, ...] = FAN_CONDUCTANCE_GAIN
+    cores_per_cluster: int = CORES_PER_CLUSTER
+
+    def opp_table(self, resource: Resource) -> OppTable:
+        """OPP table for a DVFS resource of *this* platform instance."""
+        tables = {
+            Resource.BIG: self.big_opp,
+            Resource.LITTLE: self.little_opp,
+            Resource.GPU: self.gpu_opp,
+        }
+        try:
+            return tables[resource]
+        except KeyError:
+            raise ConfigurationError("%s has no OPP table" % resource) from None
+
+
+#: The default, paper-calibrated platform.
+DEFAULT_PLATFORM_SPEC = PlatformSpec()

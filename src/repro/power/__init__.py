@@ -1,0 +1,38 @@
+"""Power modeling methodology of Chapter 4.1."""
+
+from repro.power.characterization import (
+    DEFAULT_SETPOINTS_C,
+    FurnaceCharacterization,
+    FurnacePoint,
+    FurnaceRig,
+    default_leakage_models,
+    default_power_model,
+)
+from repro.power.dynamic import AlphaCEstimator, DynamicPowerModel
+from repro.power.fitting import LeakageFit, fit_leakage, linear_fit
+from repro.power.leakage import LeakageModel
+from repro.power.model import (
+    OperatingPoint,
+    PowerDecomposition,
+    PowerModel,
+    ResourcePowerModel,
+)
+
+__all__ = [
+    "DEFAULT_SETPOINTS_C",
+    "FurnaceCharacterization",
+    "FurnacePoint",
+    "FurnaceRig",
+    "default_leakage_models",
+    "default_power_model",
+    "AlphaCEstimator",
+    "DynamicPowerModel",
+    "LeakageFit",
+    "fit_leakage",
+    "linear_fit",
+    "LeakageModel",
+    "OperatingPoint",
+    "PowerDecomposition",
+    "PowerModel",
+    "ResourcePowerModel",
+]

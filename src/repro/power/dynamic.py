@@ -1,0 +1,118 @@
+"""Run-time dynamic power model (Section 4.1.2, Fig. 4.4).
+
+At every control interval the platform's sensors provide the total power
+and temperature of each resource.  The leakage model converts temperature
+into a leakage estimate; the remainder is dynamic power, from which the
+product ``alpha * C`` (activity factor x switching capacitance) is
+extracted:
+
+    alpha*C = (P_total - P_leak(T, Vdd)) / (Vdd^2 * f)
+
+"This computation is continuously updated and an accurate reflection of
+activity factor is obtained at run-time" -- implemented here as an
+exponentially weighted moving average so single-sample sensor noise does
+not whipsaw the frequency decisions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.power.leakage import LeakageModel
+
+
+class AlphaCEstimator:
+    """EWMA estimator of the alpha*C product for one resource."""
+
+    def __init__(
+        self,
+        initial_alpha_c_f: float = 0.1e-9,
+        smoothing: float = 0.35,
+        floor_f: float = 1e-12,
+        ceiling_f: float = 20e-9,
+    ) -> None:
+        if not 0 < smoothing <= 1:
+            raise ModelError("smoothing must be in (0, 1]")
+        if not floor_f < ceiling_f:
+            raise ModelError("floor must be below ceiling")
+        self.smoothing = smoothing
+        self.floor_f = floor_f
+        self.ceiling_f = ceiling_f
+        self._alpha_c = min(max(initial_alpha_c_f, floor_f), ceiling_f)
+        self._samples = 0
+
+    @property
+    def alpha_c_f(self) -> float:
+        """Current alpha*C estimate (F)."""
+        return self._alpha_c
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples absorbed so far."""
+        return self._samples
+
+    def update(self, dynamic_power_w: float, vdd: float, frequency_hz: float) -> float:
+        """Absorb one interval's dynamic-power observation.
+
+        Returns the updated alpha*C estimate.  Non-positive dynamic power
+        (leakage model overshoot at idle) clamps the raw sample to the floor
+        rather than going negative.
+        """
+        if vdd <= 0 or frequency_hz <= 0:
+            raise ModelError("vdd and frequency must be positive")
+        raw = dynamic_power_w / (vdd ** 2 * frequency_hz)
+        raw = min(max(raw, self.floor_f), self.ceiling_f)
+        if self._samples == 0:
+            self._alpha_c = raw
+        else:
+            self._alpha_c += self.smoothing * (raw - self._alpha_c)
+        self._samples += 1
+        return self._alpha_c
+
+
+class DynamicPowerModel:
+    """Predicts dynamic power from the tracked alpha*C product.
+
+    This is the model used in Eq. 5.7 to turn a dynamic power budget into a
+    frequency: ``P_dyn = alpha*C * Vdd^2 * f``.
+    """
+
+    def __init__(self, estimator: AlphaCEstimator = None) -> None:
+        self.estimator = estimator or AlphaCEstimator()
+
+    def predict_w(self, frequency_hz: float, vdd: float) -> float:
+        """Dynamic power (W) at the given operating point."""
+        if vdd <= 0 or frequency_hz <= 0:
+            raise ModelError("vdd and frequency must be positive")
+        return self.estimator.alpha_c_f * vdd ** 2 * frequency_hz
+
+    def frequency_for_budget_hz(self, budget_w: float, vdd: float) -> float:
+        """Invert Eq. 5.7: the frequency whose dynamic power equals budget.
+
+        Note the returned frequency is continuous; the DTPM policy quantises
+        it down to the OPP table.  A non-positive budget maps to 0 Hz.
+        """
+        if vdd <= 0:
+            raise ModelError("vdd must be positive")
+        if budget_w <= 0:
+            return 0.0
+        alpha_c = self.estimator.alpha_c_f
+        if alpha_c <= 0:
+            raise ModelError("alpha*C estimate is not positive")
+        return budget_w / (alpha_c * vdd ** 2)
+
+    def observe(
+        self,
+        total_power_w: float,
+        temperature_k: float,
+        vdd: float,
+        frequency_hz: float,
+        leakage_model: LeakageModel,
+    ) -> float:
+        """Fig. 4.4 pipeline: decompose a total-power reading, update alpha*C.
+
+        Returns the dynamic component of the observation.
+        """
+        leak = leakage_model.power_w(temperature_k, vdd)
+        dynamic = total_power_w - leak
+        self.estimator.update(dynamic, vdd, frequency_hz)
+        return dynamic

@@ -1,0 +1,58 @@
+"""The controller's leakage power model (Section 4.1.1, Eq. 4.2).
+
+``P_leak(T, Vdd) = Vdd * (c1 * T^2 * exp(c2/T) + I_gate)``
+
+The parameters are *fitted* from furnace measurements (see
+:mod:`repro.power.characterization`), never copied from the platform spec:
+the model knows only what the characterization procedure could observe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.power.fitting import LeakageFit
+from repro.units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Fitted temperature-dependent leakage model for one resource."""
+
+    c1: float
+    c2: float
+    i_gate: float
+
+    def __post_init__(self) -> None:
+        if self.c1 < 0 or self.i_gate < 0:
+            raise ModelError("leakage coefficients must be non-negative")
+        if self.c2 >= 0:
+            raise ModelError(
+                "c2 must be negative (condensed -q*Vth/nk form); got %r" % self.c2
+            )
+
+    @classmethod
+    def from_fit(cls, fit: LeakageFit) -> "LeakageModel":
+        """Build the run-time model from a furnace fit result."""
+        return cls(c1=fit.c1, c2=fit.c2, i_gate=fit.i_gate)
+
+    def current_a(self, temperature_k: float) -> float:
+        """Leakage current (A) at ``temperature_k``."""
+        if temperature_k <= 0:
+            raise ModelError("temperature must be positive Kelvin")
+        return (
+            self.c1 * temperature_k ** 2 * math.exp(self.c2 / temperature_k)
+            + self.i_gate
+        )
+
+    def power_w(self, temperature_k: float, vdd: float) -> float:
+        """Leakage power (W) at temperature (K) and supply voltage (V)."""
+        if vdd <= 0:
+            raise ModelError("vdd must be positive")
+        return vdd * self.current_a(temperature_k)
+
+    def power_at_celsius(self, temperature_c: float, vdd: float) -> float:
+        """Convenience wrapper taking Celsius (paper figures use Celsius)."""
+        return self.power_w(celsius_to_kelvin(temperature_c), vdd)

@@ -1,0 +1,160 @@
+"""Combined power model: leakage + dynamic (Section 4.1, Fig. 4.7).
+
+One :class:`ResourcePowerModel` per measurable resource (big cluster,
+little cluster, GPU, memory); the :class:`PowerModel` bundle mirrors the
+power vector layout of Eq. 5.3 and is the single object the DTPM stack
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.platform.specs import OppTable, POWER_RESOURCES, Resource
+from repro.power.dynamic import AlphaCEstimator, DynamicPowerModel
+from repro.power.leakage import LeakageModel
+
+
+@dataclass
+class PowerDecomposition:
+    """One interval's total power split into components (W)."""
+
+    total_w: float
+    leakage_w: float
+    dynamic_w: float
+
+
+class ResourcePowerModel:
+    """Leakage + dynamic model of one resource, updated from sensors."""
+
+    def __init__(
+        self,
+        resource: Resource,
+        leakage: LeakageModel,
+        opp_table: Optional[OppTable] = None,
+        estimator: AlphaCEstimator = None,
+    ) -> None:
+        self.resource = resource
+        self.leakage = leakage
+        self.opp_table = opp_table
+        self.dynamic = DynamicPowerModel(estimator)
+
+    # -- observation --------------------------------------------------
+    def observe(
+        self,
+        total_power_w: float,
+        temperature_k: float,
+        vdd: float,
+        frequency_hz: float,
+    ) -> PowerDecomposition:
+        """Decompose one total-power reading and update alpha*C."""
+        leak = self.leakage.power_w(temperature_k, vdd)
+        dynamic = self.dynamic.observe(
+            total_power_w, temperature_k, vdd, frequency_hz, self.leakage
+        )
+        return PowerDecomposition(
+            total_w=total_power_w, leakage_w=leak, dynamic_w=dynamic
+        )
+
+    # -- prediction ----------------------------------------------------
+    def predict_total_w(
+        self, frequency_hz: float, temperature_k: float, vdd: float = None
+    ) -> float:
+        """Predicted total power at an operating point (Eq. 4.1)."""
+        if vdd is None:
+            if self.opp_table is None:
+                raise ModelError(
+                    "%s: vdd required (no OPP table attached)" % self.resource
+                )
+            vdd = self.opp_table.voltage(frequency_hz)
+        return (
+            self.dynamic.predict_w(frequency_hz, vdd)
+            + self.leakage.power_w(temperature_k, vdd)
+        )
+
+    def predict_leakage_w(self, temperature_k: float, vdd: float) -> float:
+        """Predicted leakage power at temperature/voltage."""
+        return self.leakage.power_w(temperature_k, vdd)
+
+
+class PowerModel:
+    """The full per-resource power model bundle.
+
+    Index order follows :data:`repro.platform.specs.POWER_RESOURCES`
+    (big, little, gpu, mem) -- the same layout as the thermal model's
+    power input vector.
+    """
+
+    def __init__(self, models: Dict[Resource, ResourcePowerModel]) -> None:
+        missing = [r for r in POWER_RESOURCES if r not in models]
+        if missing:
+            raise NotFittedError(
+                "power model missing resources: %s" % [str(m) for m in missing]
+            )
+        self.models = dict(models)
+
+    def __getitem__(self, resource: Resource) -> ResourcePowerModel:
+        return self.models[resource]
+
+    def observe_vector(
+        self,
+        powers_w: np.ndarray,
+        big_temperature_k: float,
+        operating_point: "OperatingPoint",
+    ) -> Dict[Resource, PowerDecomposition]:
+        """Feed one sensor snapshot through every resource model.
+
+        ``powers_w`` follows the [big, little, gpu, mem] layout.  Only the
+        currently active CPU cluster learns a new alpha*C (a gated cluster's
+        sensor reads leakage only).
+        """
+        out: Dict[Resource, PowerDecomposition] = {}
+        for i, resource in enumerate(POWER_RESOURCES):
+            model = self.models[resource]
+            point = operating_point.for_resource(resource)
+            if point is None:
+                continue
+            vdd, freq = point
+            out[resource] = model.observe(
+                float(powers_w[i]), big_temperature_k, vdd, freq
+            )
+        return out
+
+    def leakage_vector_w(
+        self, temperature_k: float, operating_point: "OperatingPoint"
+    ) -> np.ndarray:
+        """Leakage estimate for each resource at the given temperature."""
+        leaks = np.zeros(len(POWER_RESOURCES))
+        for i, resource in enumerate(POWER_RESOURCES):
+            point = operating_point.for_resource(resource)
+            if point is None:
+                continue
+            vdd, _ = point
+            leaks[i] = self.models[resource].predict_leakage_w(temperature_k, vdd)
+        return leaks
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Voltage/frequency of every resource at one control interval.
+
+    Inactive resources carry ``None`` and are skipped by model updates.
+    """
+
+    big: Optional[tuple]  # (vdd, frequency_hz) or None when gated
+    little: Optional[tuple]
+    gpu: Optional[tuple]
+    mem: Optional[tuple]
+
+    def for_resource(self, resource: Resource) -> Optional[tuple]:
+        """(vdd, frequency) of a resource, or None if gated."""
+        return {
+            Resource.BIG: self.big,
+            Resource.LITTLE: self.little,
+            Resource.GPU: self.gpu,
+            Resource.MEM: self.mem,
+        }[resource]

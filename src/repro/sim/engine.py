@@ -1,0 +1,309 @@
+"""The closed-loop simulation engine.
+
+Reproduces the paper's run-time stack at a 100 ms control period: the
+kernel's load balancer places threads, ondemand + idle governors propose
+the next configuration, the thermal-management layer of the selected
+experimental configuration (Section 6.2) may overwrite it, the actuators
+apply it (with migration/hotplug stalls), and the physical plant advances.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.errors import ConfigurationError, SimulationError
+from repro.governors.base import LoadSample, PlatformConfig
+from repro.governors.idle import IdleGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.reactive import ReactiveThrottleGovernor
+from repro.platform.board import OdroidBoard
+from repro.platform.specs import (
+    CLUSTER_MIGRATION_PENALTY_S,
+    HOTPLUG_PENALTY_S,
+    PlatformSpec,
+    Resource,
+)
+from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
+from repro.sim.scheduler import LoadBalancer
+from repro.units import KELVIN_OFFSET
+from repro.workloads.trace import WorkloadProgress, WorkloadTrace
+
+
+class ThermalMode(enum.Enum):
+    """The four experimental configurations of Section 6.2."""
+
+    DEFAULT_WITH_FAN = "with_fan"
+    NO_FAN = "without_fan"
+    REACTIVE = "reactive"
+    DTPM = "dtpm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Simulator:
+    """One benchmark run under one thermal-management configuration."""
+
+    def __init__(
+        self,
+        workload: WorkloadTrace,
+        mode: ThermalMode,
+        dtpm: Optional[DtpmGovernor] = None,
+        spec: PlatformSpec = None,
+        config: SimulationConfig = None,
+        warm_start_c: Optional[float] = 52.0,
+        max_duration_s: float = 900.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.workload = workload
+        self.mode = mode
+        self.spec = spec or PlatformSpec()
+        self.config = config or SimulationConfig()
+        if seed is not None:
+            self.config = self.config.with_(seed=seed)
+        if mode is ThermalMode.DTPM and dtpm is None:
+            raise ConfigurationError("DTPM mode needs a DtpmGovernor")
+        self.dtpm = dtpm
+        self.warm_start_c = warm_start_c
+        self.max_duration_s = max_duration_s
+
+        self.board = OdroidBoard(
+            self.spec,
+            self.config,
+            fan_enabled=(mode is ThermalMode.DEFAULT_WITH_FAN),
+        )
+        self.rng = np.random.default_rng(self.config.seed + 77)
+        self.scheduler = LoadBalancer(self.spec, self.rng)
+        self.cpu_governors = {
+            Resource.BIG: OndemandGovernor(self.spec.big_opp),
+            Resource.LITTLE: OndemandGovernor(self.spec.little_opp),
+        }
+        self.gpu_governor = OndemandGovernor(self.spec.gpu_opp, up_threshold=0.90)
+        self.idle_governor = IdleGovernor(max_cores=self.spec.cores_per_cluster)
+        self.reactive = (
+            ReactiveThrottleGovernor(self.spec.big_opp)
+            if mode is ThermalMode.REACTIVE
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the benchmark to completion (or the duration cap)."""
+        board = self.board
+        config_sim = self.config
+        dt = config_sim.control_period_s
+        substeps = config_sim.substeps_per_control
+        sub_dt = config_sim.thermal_substep_s
+
+        if self.warm_start_c is not None:
+            board.warm_start(self.warm_start_c)
+        if self.dtpm is not None:
+            self.dtpm.reset()
+
+        progress = WorkloadProgress(self.workload)
+        recorder = TraceRecorder(RUN_COLUMNS)
+        current = PlatformConfig(
+            cluster=Resource.BIG,
+            big_freq_hz=self.spec.big_opp.f_min_hz,
+            little_freq_hz=self.spec.little_opp.f_min_hz,
+            gpu_freq_hz=self.spec.gpu_opp.f_min_hz,
+            big_online=self.spec.cores_per_cluster,
+            little_online=self.spec.cores_per_cluster,
+        )
+        self._apply(current, current, None)
+
+        pending_freeze_s = 0.0
+        interventions = 0
+        violations = 0
+        migrations = 0
+        offlined = 0
+
+        while not progress.done and board.time_s < self.max_duration_s:
+            # 1. place threads and account work for this interval
+            frozen = min(pending_freeze_s, dt)
+            pending_freeze_s -= frozen
+            sched = self.scheduler.assign(
+                self.workload, progress, current, dt, frozen_s=frozen
+            )
+
+            # 2. advance the physical plant
+            for _ in range(substeps):
+                board.step(
+                    sched.big_utils,
+                    sched.little_utils,
+                    sched.gpu_util,
+                    sched.mem_traffic,
+                    sub_dt,
+                    cpu_activity=sched.cpu_activity,
+                    gpu_activity=sched.gpu_activity,
+                )
+            progress.retire(sched.work_gcycles, dt)
+            snapshot = board.read_sensors()
+
+            # 3. default governors propose the next configuration
+            proposal = self._propose(sched, current, snapshot.time_s)
+
+            # 4. thermal management layer
+            outcome = None
+            if self.mode is ThermalMode.REACTIVE:
+                final = self.reactive.control(
+                    snapshot.max_temperature_k, proposal
+                )
+            elif self.mode is ThermalMode.DTPM:
+                outcome = self.dtpm.control(
+                    snapshot,
+                    current,
+                    proposal,
+                    gpu_active=self.workload.uses_gpu,
+                )
+                final = outcome.config
+                if outcome.violation_predicted:
+                    violations += 1
+                if outcome.intervened:
+                    interventions += 1
+            else:
+                final = proposal
+
+            # 5. actuate, paying migration/hotplug penalties
+            penalty, migrated, cores_changed = self._apply(
+                final, current, outcome
+            )
+            pending_freeze_s += penalty
+            migrations += int(migrated)
+            offlined += cores_changed
+
+            # 6. record
+            temps_c = snapshot.temperatures_k - KELVIN_OFFSET
+            recorder.append(
+                time_s=board.time_s,
+                max_temp_c=float(np.max(temps_c)),
+                true_max_temp_c=float(np.max(board.true_hotspots_k()))
+                - KELVIN_OFFSET,
+                temp0_c=temps_c[0],
+                temp1_c=temps_c[1],
+                temp2_c=temps_c[2],
+                temp3_c=temps_c[3],
+                big_freq_hz=final.big_freq_hz,
+                little_freq_hz=final.little_freq_hz,
+                gpu_freq_hz=final.gpu_freq_hz,
+                cluster_is_big=float(final.cluster is Resource.BIG),
+                online_cores=float(final.active_online),
+                fan_speed=float(int(board.fan.speed)),
+                platform_power_w=snapshot.platform_power_w,
+                p_big_w=float(snapshot.powers_w[0]),
+                p_little_w=float(snapshot.powers_w[1]),
+                p_gpu_w=float(snapshot.powers_w[2]),
+                p_mem_w=float(snapshot.powers_w[3]),
+                violation_predicted=float(
+                    bool(outcome and outcome.violation_predicted)
+                ),
+                intervened=float(bool(outcome and outcome.intervened)),
+            )
+            current = final
+
+        return RunResult(
+            benchmark=self.workload.name,
+            mode=self.mode.value,
+            completed=progress.done,
+            execution_time_s=board.time_s,
+            average_platform_power_w=board.meter.average_power_w,
+            energy_j=board.meter.energy_j,
+            trace=recorder,
+            interventions=interventions,
+            violations_predicted=violations,
+            cluster_migrations=migrations,
+            cores_offlined=offlined,
+        )
+
+    # ------------------------------------------------------------------
+    def _propose(
+        self, sched, current: PlatformConfig, time_s: float
+    ) -> PlatformConfig:
+        """Run the default governors on the last interval's load."""
+        on_big = current.cluster is Resource.BIG
+        utils = sched.big_utils if on_big else sched.little_utils
+        online = current.active_online
+        sample = LoadSample(
+            core_utilisations=utils[:online],
+            current_freq_hz=current.active_freq_hz,
+            time_s=time_s,
+        )
+        governor = self.cpu_governors[current.cluster]
+        freq = governor.propose(sample)
+        online_next = self.idle_governor.propose(utils, online)
+
+        gpu_sample = LoadSample(
+            core_utilisations=(sched.gpu_util,),
+            current_freq_hz=current.gpu_freq_hz,
+            time_s=time_s,
+        )
+        gpu_freq = self.gpu_governor.propose(gpu_sample)
+
+        if on_big:
+            return current.with_(
+                big_freq_hz=freq, big_online=online_next, gpu_freq_hz=gpu_freq
+            )
+        return current.with_(
+            little_freq_hz=freq, little_online=online_next, gpu_freq_hz=gpu_freq
+        )
+
+    # ------------------------------------------------------------------
+    def _apply(
+        self,
+        final: PlatformConfig,
+        current: PlatformConfig,
+        outcome,
+    ):
+        """Push a configuration into the SoC actuators.
+
+        Returns (stall seconds, migrated?, #cores hotplugged).
+        """
+        soc = self.board.soc
+        penalty = 0.0
+        migrated = False
+        cores_changed = 0
+
+        if final.cluster is not soc.active_cluster:
+            penalty += soc.switch_cluster(final.cluster)
+            migrated = True
+
+        soc.big.set_frequency(final.big_freq_hz)
+        soc.little.set_frequency(final.little_freq_hz)
+        soc.gpu.set_frequency(final.gpu_freq_hz)
+
+        cluster = soc.big if final.cluster is Resource.BIG else soc.little
+        target = final.active_online
+        prefer_off = None
+        if outcome is not None and outcome.decision is not None:
+            prefer_off = outcome.decision.core_turned_off
+        cores_changed = self._set_online(cluster, target, prefer_off)
+        penalty += cores_changed * HOTPLUG_PENALTY_S
+        return penalty, migrated, cores_changed
+
+    @staticmethod
+    def _set_online(cluster, target: int, prefer_off: Optional[int]) -> int:
+        """Hotplug to ``target`` online cores, offlining ``prefer_off`` first."""
+        changes = 0
+        # offline preferred core first when reducing
+        while cluster.num_online > target:
+            candidates = cluster.online_cores
+            victim = (
+                prefer_off
+                if prefer_off in candidates
+                else candidates[-1]
+            )
+            cluster.set_core_online(victim, False)
+            prefer_off = None
+            changes += 1
+        while cluster.num_online < target:
+            for core in range(cluster.num_cores):
+                if not cluster.is_online(core):
+                    cluster.set_core_online(core, True)
+                    changes += 1
+                    break
+        return changes

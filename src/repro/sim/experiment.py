@@ -1,0 +1,143 @@
+"""Experiment harness: the four configurations of Section 6.2.
+
+``run_benchmark`` executes one (benchmark, configuration) cell;
+``compare_modes`` produces a full row of the evaluation (default-with-fan
+vs. without-fan vs. reactive heuristic vs. proposed DTPM); and
+``dtpm_vs_default`` yields the Fig. 6.9 comparison rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.platform.specs import PlatformSpec
+from repro.power.characterization import default_power_model
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.metrics import (
+    ComparisonRow,
+    performance_loss_pct,
+    power_savings_pct,
+)
+from repro.sim.models import ModelBundle, default_models
+from repro.sim.run_result import RunResult
+from repro.workloads.trace import WorkloadTrace
+
+
+def make_dtpm_governor(
+    models: ModelBundle = None,
+    spec: PlatformSpec = None,
+    config: SimulationConfig = None,
+) -> DtpmGovernor:
+    """Assemble a DTPM governor from a model bundle.
+
+    The power model is re-instantiated so each run starts with fresh
+    alpha*C estimators (the leakage fits are shared -- they are static
+    characterization products).
+    """
+    models = models or default_models()
+    spec = spec or PlatformSpec()
+    power = default_power_model(spec)
+    # carry over the characterized leakage fits
+    for resource, fitted in models.power.models.items():
+        power.models[resource].leakage = fitted.leakage
+    return DtpmGovernor(models.thermal, power, spec=spec, config=config)
+
+
+def run_benchmark(
+    workload: WorkloadTrace,
+    mode: ThermalMode,
+    models: ModelBundle = None,
+    spec: PlatformSpec = None,
+    config: SimulationConfig = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+    seed: Optional[int] = None,
+) -> RunResult:
+    """Run one benchmark under one thermal-management configuration."""
+    dtpm = None
+    if mode is ThermalMode.DTPM:
+        dtpm = make_dtpm_governor(models, spec, config)
+    sim = Simulator(
+        workload,
+        mode,
+        dtpm=dtpm,
+        spec=spec,
+        config=config,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+        seed=seed,
+    )
+    return sim.run()
+
+
+def compare_modes(
+    workload: WorkloadTrace,
+    modes: Sequence[ThermalMode] = tuple(ThermalMode),
+    models: ModelBundle = None,
+    spec: PlatformSpec = None,
+    config: SimulationConfig = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> Dict[ThermalMode, RunResult]:
+    """Run one benchmark under several configurations."""
+    if any(m is ThermalMode.DTPM for m in modes) and models is None:
+        models = default_models()
+    return {
+        mode: run_benchmark(
+            workload,
+            mode,
+            models=models,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        for mode in modes
+    }
+
+
+def dtpm_vs_default(
+    workloads: Iterable[WorkloadTrace],
+    models: ModelBundle = None,
+    spec: PlatformSpec = None,
+    config: SimulationConfig = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[ComparisonRow]:
+    """The Fig. 6.9 sweep: DTPM against the fan-cooled default."""
+    models = models or default_models()
+    rows: List[ComparisonRow] = []
+    for workload in workloads:
+        base = run_benchmark(
+            workload,
+            ThermalMode.DEFAULT_WITH_FAN,
+            models=models,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        dtpm = run_benchmark(
+            workload,
+            ThermalMode.DTPM,
+            models=models,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        rows.append(
+            ComparisonRow(
+                benchmark=workload.name,
+                category=workload.category,
+                power_savings_pct=power_savings_pct(base, dtpm),
+                performance_loss_pct=performance_loss_pct(base, dtpm),
+                baseline_power_w=base.average_platform_power_w,
+                dtpm_power_w=dtpm.average_platform_power_w,
+                baseline_time_s=base.execution_time_s,
+                dtpm_time_s=dtpm.execution_time_s,
+            )
+        )
+    return rows

@@ -1,0 +1,161 @@
+"""Run results: the time series and summary of one simulated benchmark run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import KELVIN_OFFSET
+
+
+class TraceRecorder:
+    """Append-only columnar recorder for per-interval observations."""
+
+    def __init__(self, columns: List[str]) -> None:
+        if not columns:
+            raise SimulationError("recorder needs at least one column")
+        self._columns = list(columns)
+        self._rows: List[List[float]] = []
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._columns)
+
+    def append(self, **values: float) -> None:
+        """Record one row; every declared column must be present."""
+        missing = set(self._columns) - set(values)
+        if missing:
+            raise SimulationError("missing columns: %s" % sorted(missing))
+        self._rows.append([float(values[c]) for c in self._columns])
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as an array."""
+        try:
+            idx = self._columns.index(name)
+        except ValueError:
+            raise SimulationError("unknown column %r" % name) from None
+        return np.array([row[idx] for row in self._rows])
+
+    def as_dict(self) -> Dict[str, np.ndarray]:
+        """All columns as arrays."""
+        data = np.array(self._rows) if self._rows else np.empty((0, len(self._columns)))
+        return {c: data[:, i] for i, c in enumerate(self._columns)}
+
+
+#: Columns every simulation run records.
+RUN_COLUMNS = [
+    "time_s",
+    "max_temp_c",  # sensed (what the paper plots)
+    "true_max_temp_c",
+    "temp0_c",
+    "temp1_c",
+    "temp2_c",
+    "temp3_c",
+    "big_freq_hz",
+    "little_freq_hz",
+    "gpu_freq_hz",
+    "cluster_is_big",
+    "online_cores",
+    "fan_speed",
+    "platform_power_w",
+    "p_big_w",
+    "p_little_w",
+    "p_gpu_w",
+    "p_mem_w",
+    "violation_predicted",
+    "intervened",
+]
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one benchmark run under one configuration."""
+
+    benchmark: str
+    mode: str
+    completed: bool
+    execution_time_s: float
+    average_platform_power_w: float
+    energy_j: float
+    trace: TraceRecorder
+    interventions: int = 0
+    violations_predicted: int = 0
+    cluster_migrations: int = 0
+    cores_offlined: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def times_s(self) -> np.ndarray:
+        """Time axis of the recorded trace."""
+        return self.trace.column("time_s")
+
+    def max_temps_c(self) -> np.ndarray:
+        """Sensed maximum core temperature over time."""
+        return self.trace.column("max_temp_c")
+
+    def big_freqs_ghz(self) -> np.ndarray:
+        """Big-cluster frequency over time (GHz)."""
+        return self.trace.column("big_freq_hz") / 1e9
+
+    def settle_slice(self, skip_s: float = 15.0) -> slice:
+        """Index slice skipping the initial transient.
+
+        The paper's stability numbers describe regulation quality, so the
+        warm-up climb from the start temperature is excluded.
+        """
+        t = self.times_s()
+        if t.size == 0:
+            return slice(0, 0)
+        start = int(np.searchsorted(t, t[0] + skip_s))
+        start = min(start, max(0, t.size - 2))
+        return slice(start, t.size)
+
+    # -- stability metrics (Fig. 6.5) -----------------------------------
+    def temp_max_min_c(self, skip_s: float = 15.0) -> float:
+        """Max-min band of the sensed max core temperature."""
+        temps = self.max_temps_c()[self.settle_slice(skip_s)]
+        if temps.size == 0:
+            raise SimulationError("run trace too short for stability metrics")
+        return float(np.max(temps) - np.min(temps))
+
+    def temp_variance(self, skip_s: float = 15.0) -> float:
+        """Variance of the sensed max core temperature (degC^2)."""
+        temps = self.max_temps_c()[self.settle_slice(skip_s)]
+        if temps.size == 0:
+            raise SimulationError("run trace too short for stability metrics")
+        return float(np.var(temps))
+
+    def average_temp_c(self, skip_s: float = 15.0) -> float:
+        """Mean sensed max core temperature after settling."""
+        temps = self.max_temps_c()[self.settle_slice(skip_s)]
+        if temps.size == 0:
+            raise SimulationError("run trace too short for stability metrics")
+        return float(np.mean(temps))
+
+    def peak_temp_c(self) -> float:
+        """Highest sensed max core temperature over the whole run."""
+        return float(np.max(self.max_temps_c()))
+
+    def constraint_exceedance_c(self, constraint_c: float) -> float:
+        """How far above the constraint the run went (0 if never)."""
+        return max(0.0, self.peak_temp_c() - constraint_c)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            "%s/%s: %s in %.1f s, %.2f W avg, peak %.1f degC"
+            % (
+                self.benchmark,
+                self.mode,
+                "completed" if self.completed else "DID NOT FINISH",
+                self.execution_time_s,
+                self.average_platform_power_w,
+                self.peak_temp_c(),
+            )
+        )

@@ -1,0 +1,97 @@
+"""Back-to-back benchmark scenarios on one (warm) device.
+
+The paper's measurements come from a board that had been running Android
+and previous benchmarks -- its traces start well above ambient.  This
+module makes that explicit: a :class:`ScenarioRunner` executes a sequence
+of workloads on a *single* platform instance, so each run inherits the
+thermal state the previous one left behind, with an optional idle gap in
+between (the phone sitting in a pocket between apps).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.errors import ConfigurationError
+from repro.platform.specs import PlatformSpec
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.run_result import RunResult
+from repro.workloads.trace import WorkloadTrace
+
+
+class ScenarioRunner:
+    """Runs workloads consecutively, carrying thermal state across runs."""
+
+    def __init__(
+        self,
+        mode: ThermalMode,
+        dtpm: Optional[DtpmGovernor] = None,
+        spec: PlatformSpec = None,
+        config: SimulationConfig = None,
+        initial_temp_c: float = 35.0,
+        idle_gap_s: float = 0.0,
+        max_duration_s: float = 900.0,
+    ) -> None:
+        if mode is ThermalMode.DTPM and dtpm is None:
+            raise ConfigurationError("DTPM scenarios need a DtpmGovernor")
+        if idle_gap_s < 0:
+            raise ConfigurationError("idle gap must be >= 0")
+        self.mode = mode
+        self.dtpm = dtpm
+        self.spec = spec or PlatformSpec()
+        self.config = config or SimulationConfig()
+        self.initial_temp_c = initial_temp_c
+        self.idle_gap_s = idle_gap_s
+        self.max_duration_s = max_duration_s
+        self._carry_temps_k = None
+
+    # ------------------------------------------------------------------
+    def run(self, workloads: Sequence[WorkloadTrace]) -> List[RunResult]:
+        """Execute the sequence; each run starts where the last ended."""
+        if not workloads:
+            raise ConfigurationError("scenario needs at least one workload")
+        results: List[RunResult] = []
+        for i, workload in enumerate(workloads):
+            carrying = self._carry_temps_k is not None
+            sim = Simulator(
+                workload,
+                self.mode,
+                dtpm=self.dtpm,
+                spec=self.spec,
+                config=self.config,
+                # the first run starts from the configured device state;
+                # later runs inherit the carried thermal state verbatim
+                warm_start_c=None if carrying else self.initial_temp_c,
+                max_duration_s=self.max_duration_s,
+                seed=self.config.seed + i,
+            )
+            if carrying:
+                sim.board.network.set_temperatures_k(self._carry_temps_k)
+                if self.idle_gap_s > 0:
+                    self._idle(sim)
+            result = sim.run()
+            result.notes.append("scenario position %d" % i)
+            results.append(result)
+            self._carry_temps_k = sim.board.network.temperatures_k
+        return results
+
+    def _idle(self, sim: Simulator) -> None:
+        """Let the device cool at near-idle for the configured gap."""
+        steps = int(round(self.idle_gap_s / 0.1))
+        sim.board.soc.big.set_frequency(self.spec.big_opp.f_min_hz)
+        for _ in range(steps):
+            sim.board.step(
+                (0.03, 0.02, 0.02, 0.02), (0.0,) * 4, 0.0, 0.03, 0.1
+            )
+        # the idle gap is not part of any benchmark's accounting
+        sim.board.meter.reset()
+        self._carry_temps_k = sim.board.network.temperatures_k
+
+    @property
+    def device_temps_k(self):
+        """Thermal state carried into the next run (None before any run)."""
+        return (
+            None if self._carry_temps_k is None else self._carry_temps_k.copy()
+        )

@@ -1,0 +1,165 @@
+"""Parameter sweeps over the closed-loop experiment space.
+
+Utilities behind the ablation benchmarks: sweep a single knob (thermal
+constraint, prediction horizon, guard band, identification method, sensor
+noise) while holding everything else at the paper's defaults, and collect
+the regulation/power/performance outcome per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.errors import ConfigurationError
+from repro.platform.specs import PlatformSpec
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.experiment import make_dtpm_governor
+from repro.sim.models import ModelBundle
+from repro.sim.run_result import RunResult
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Outcome of one sweep point."""
+
+    value: float
+    result: RunResult
+    peak_c: float
+    overshoot_c: float
+    execution_time_s: float
+    average_power_w: float
+    interventions: int
+
+
+def _evaluate(
+    result: RunResult, constraint_c: float, value: float
+) -> SweepPoint:
+    return SweepPoint(
+        value=value,
+        result=result,
+        peak_c=result.peak_temp_c(),
+        overshoot_c=result.constraint_exceedance_c(constraint_c),
+        execution_time_s=result.execution_time_s,
+        average_power_w=result.average_platform_power_w,
+        interventions=result.interventions,
+    )
+
+
+def sweep_constraint(
+    workload: WorkloadTrace,
+    constraints_c: Sequence[float],
+    models: ModelBundle,
+    spec: PlatformSpec = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[SweepPoint]:
+    """Run the DTPM at several temperature constraints."""
+    points = []
+    for constraint in constraints_c:
+        config = SimulationConfig(t_constraint_c=constraint)
+        governor = make_dtpm_governor(models, spec=spec, config=config)
+        sim = Simulator(
+            workload,
+            ThermalMode.DTPM,
+            dtpm=governor,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        points.append(_evaluate(sim.run(), constraint, constraint))
+    return points
+
+
+def sweep_horizon(
+    workload: WorkloadTrace,
+    horizons_steps: Sequence[int],
+    models: ModelBundle,
+    spec: PlatformSpec = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[SweepPoint]:
+    """Run the DTPM with several prediction horizons (paper default: 10)."""
+    points = []
+    for horizon in horizons_steps:
+        if horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        config = SimulationConfig(prediction_horizon_steps=horizon)
+        governor = make_dtpm_governor(models, spec=spec, config=config)
+        sim = Simulator(
+            workload,
+            ThermalMode.DTPM,
+            dtpm=governor,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        points.append(
+            _evaluate(sim.run(), config.t_constraint_c, float(horizon))
+        )
+    return points
+
+
+def sweep_guard_band(
+    workload: WorkloadTrace,
+    guard_bands_k: Sequence[float],
+    models: ModelBundle,
+    spec: PlatformSpec = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[SweepPoint]:
+    """Run the DTPM with several predictor guard bands."""
+    from repro.power.characterization import default_power_model
+
+    points = []
+    config = SimulationConfig()
+    spec = spec or PlatformSpec()
+    for guard in guard_bands_k:
+        power = default_power_model(spec)
+        for resource, fitted in models.power.models.items():
+            power.models[resource].leakage = fitted.leakage
+        governor = DtpmGovernor(
+            models.thermal, power, spec=spec, config=config, guard_band_k=guard
+        )
+        sim = Simulator(
+            workload,
+            ThermalMode.DTPM,
+            dtpm=governor,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        points.append(_evaluate(sim.run(), config.t_constraint_c, guard))
+    return points
+
+
+def sweep_sensor_noise(
+    workload: WorkloadTrace,
+    noise_levels_c: Sequence[float],
+    models: ModelBundle,
+    spec: PlatformSpec = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[SweepPoint]:
+    """Run the DTPM under increasing thermal-sensor noise."""
+    points = []
+    for noise in noise_levels_c:
+        config = SimulationConfig(temp_sensor_noise_c=noise)
+        governor = make_dtpm_governor(models, spec=spec, config=config)
+        sim = Simulator(
+            workload,
+            ThermalMode.DTPM,
+            dtpm=governor,
+            spec=spec,
+            config=config,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        points.append(_evaluate(sim.run(), config.t_constraint_c, noise))
+    return points

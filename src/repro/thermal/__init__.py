@@ -1,0 +1,60 @@
+"""Thermal modeling: ground-truth plant, PRBS, system identification."""
+
+from repro.thermal.floorplan import (
+    BIG_CORE_NODES,
+    CASE_NODE,
+    DEFAULT_THERMAL_CONSTANTS,
+    GPU_NODE,
+    LITTLE_NODE,
+    MEM_NODE,
+    build_exynos_network,
+    hotspot_temperatures_k,
+    node_powers,
+    resource_temperatures_k,
+)
+from repro.thermal.observer import TemperatureObserver
+from repro.thermal.prbs import PrbsSignal, balance, prbs_bits, prbs_levels
+from repro.thermal.rc_network import ThermalNode, ThermalRCNetwork, node_power_vector
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.thermal.sysid import (
+    IdentificationSession,
+    PrbsExperiment,
+    SystemIdentifier,
+    identify_default_model,
+)
+from repro.thermal.validation import (
+    PredictionErrorReport,
+    error_vs_horizon,
+    horizon_predictions,
+    prediction_error_report,
+)
+
+__all__ = [
+    "TemperatureObserver",
+    "BIG_CORE_NODES",
+    "CASE_NODE",
+    "DEFAULT_THERMAL_CONSTANTS",
+    "GPU_NODE",
+    "LITTLE_NODE",
+    "MEM_NODE",
+    "build_exynos_network",
+    "hotspot_temperatures_k",
+    "node_powers",
+    "resource_temperatures_k",
+    "PrbsSignal",
+    "balance",
+    "prbs_bits",
+    "prbs_levels",
+    "ThermalNode",
+    "ThermalRCNetwork",
+    "node_power_vector",
+    "DiscreteThermalModel",
+    "IdentificationSession",
+    "PrbsExperiment",
+    "SystemIdentifier",
+    "identify_default_model",
+    "PredictionErrorReport",
+    "error_vs_horizon",
+    "horizon_predictions",
+    "prediction_error_report",
+]

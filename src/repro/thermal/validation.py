@@ -1,0 +1,107 @@
+"""Thermal model validation metrics (Section 4.2.2, Figs. 4.9/4.10/6.2).
+
+The paper validates the identified model by predicting the temperature
+``n`` control intervals ahead at every step of a benchmark run, then
+comparing predictions against the measurements recorded at those times.
+Errors are reported both in degrees Celsius and as a percentage of the
+measured Celsius reading (the paper quotes "3 % (1 degC)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.units import KELVIN_OFFSET
+
+
+@dataclass(frozen=True)
+class PredictionErrorReport:
+    """Aggregate prediction-error statistics for one horizon."""
+
+    horizon_steps: int
+    horizon_s: float
+    mean_abs_c: float
+    max_abs_c: float
+    rms_c: float
+    mean_pct: float
+    max_pct: float
+    samples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "horizon %.1fs: mean |err| %.2f degC (%.2f %%), max %.2f degC"
+            % (self.horizon_s, self.mean_abs_c, self.mean_pct, self.max_abs_c)
+        )
+
+
+def horizon_predictions(
+    model: DiscreteThermalModel,
+    temps_k: np.ndarray,
+    powers_w: np.ndarray,
+    horizon_steps: int,
+) -> np.ndarray:
+    """Predict ``T[k + horizon]`` from every start index k.
+
+    Uses the *actual* logged power trajectory over the window (Eq. 4.5),
+    which is what the paper's end-of-run validation does.  Returns an array
+    of shape (steps - horizon, N) aligned so row k is the prediction of the
+    measurement ``temps_k[k + horizon]``.
+    """
+    temps = np.asarray(temps_k, dtype=float)
+    powers = np.asarray(powers_w, dtype=float)
+    if temps.ndim != 2 or powers.ndim != 2 or temps.shape[0] != powers.shape[0]:
+        raise ModelError("temps and powers must be aligned 2-D time series")
+    steps = temps.shape[0]
+    if horizon_steps < 1 or horizon_steps >= steps:
+        raise ModelError(
+            "horizon %d outside series of length %d" % (horizon_steps, steps)
+        )
+    out = np.empty((steps - horizon_steps, temps.shape[1]))
+    for k in range(steps - horizon_steps):
+        window = powers[k : k + horizon_steps]
+        out[k] = model.predict_horizon(temps[k], window)[-1]
+    return out
+
+
+def prediction_error_report(
+    model: DiscreteThermalModel,
+    temps_k: np.ndarray,
+    powers_w: np.ndarray,
+    horizon_steps: int,
+) -> PredictionErrorReport:
+    """Full error statistics for one prediction horizon."""
+    preds = horizon_predictions(model, temps_k, powers_w, horizon_steps)
+    actual = np.asarray(temps_k, dtype=float)[horizon_steps:]
+    err_c = preds - actual  # Kelvin differences == Celsius differences
+    abs_err = np.abs(err_c)
+    actual_c = actual - KELVIN_OFFSET
+    with np.errstate(divide="ignore", invalid="ignore"):
+        pct = 100.0 * abs_err / np.maximum(actual_c, 1e-9)
+    return PredictionErrorReport(
+        horizon_steps=horizon_steps,
+        horizon_s=horizon_steps * model.ts_s,
+        mean_abs_c=float(np.mean(abs_err)),
+        max_abs_c=float(np.max(abs_err)),
+        rms_c=float(np.sqrt(np.mean(err_c ** 2))),
+        mean_pct=float(np.mean(pct)),
+        max_pct=float(np.max(pct)),
+        samples=int(abs_err.size),
+    )
+
+
+def error_vs_horizon(
+    model: DiscreteThermalModel,
+    temps_k: np.ndarray,
+    powers_w: np.ndarray,
+    horizons_steps: Sequence[int],
+) -> Dict[int, PredictionErrorReport]:
+    """Error reports over a sweep of horizons (Fig. 4.10's x-axis)."""
+    return {
+        h: prediction_error_report(model, temps_k, powers_w, h)
+        for h in horizons_steps
+    }

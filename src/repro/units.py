@@ -1,0 +1,72 @@
+"""Unit helpers and physical constants.
+
+The library stores every quantity in SI base units internally:
+
+========================  =============
+quantity                  internal unit
+========================  =============
+time                      seconds
+frequency                 hertz
+power                     watts
+temperature               kelvin
+capacitance               farads
+energy                    joules
+thermal resistance        kelvin/watt
+thermal capacitance       joule/kelvin
+========================  =============
+
+The paper (and the rendered tables/figures) use MHz/GHz and Celsius, so the
+converters here are used at every API boundary that mirrors the paper.
+"""
+
+from __future__ import annotations
+
+#: Absolute zero offset between Celsius and Kelvin.
+KELVIN_OFFSET = 273.15
+
+#: Boltzmann constant (J/K) - appears in the leakage current equation (4.2).
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to Kelvin."""
+    return celsius + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from Kelvin to degrees Celsius."""
+    return kelvin - KELVIN_OFFSET
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency in MHz to Hz."""
+    return value * 1e6
+
+
+def ghz(value: float) -> float:
+    """Convert a frequency in GHz to Hz."""
+    return value * 1e9
+
+
+def hz_to_mhz(value: float) -> float:
+    """Convert a frequency in Hz to MHz."""
+    return value / 1e6
+
+def hz_to_ghz(value: float) -> float:
+    """Convert a frequency in Hz to GHz."""
+    return value / 1e9
+
+
+def milliwatts(value: float) -> float:
+    """Convert a power in mW to W."""
+    return value * 1e-3
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError("clamp: low %r > high %r" % (low, high))
+    return max(low, min(high, value))

@@ -1,0 +1,313 @@
+"""The 15 benchmarks of Table 6.4.
+
+Eleven Mi-Bench programs, three game/video applications and the self-written
+multi-threaded matrix multiplication.  Each is described behaviourally: the
+work it retires, the threads it keeps busy, its switching-activity level
+(which is what separates the Low / Medium / High power categories), and the
+GPU/memory load it produces.  Work sizes are calibrated so the nominal
+(fan-cooled, full-speed) run lengths land near the paper's plotted traces
+(Dijkstra ~64 s, Patricia ~300 s, matrix multiplication ~60 s, Templerun
+~100 s, Basicmath ~140 s, Blowfish ~280 s).
+
+Per Section 6.1.3, the games run a matrix-multiplication instance in the
+background "to overload the CPU", so their CPU thread count is high even
+though the foreground work is GPU rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    CATEGORY_HIGH,
+    CATEGORY_LOW,
+    CATEGORY_MEDIUM,
+    WorkloadPhase,
+    WorkloadTrace,
+)
+
+#: Reference big-core frequency used to size total work (Hz -> Gcycles/s).
+_REF_GHZ = 1.6
+
+
+def _work(duration_s: float, threads: int) -> float:
+    """Total work (Gcycles) for a nominal full-speed run of ``duration_s``."""
+    return duration_s * _REF_GHZ * threads
+
+
+# ---------------------------------------------------------------------------
+# Mi-Bench: Security
+# ---------------------------------------------------------------------------
+BLOWFISH = WorkloadTrace(
+    name="blowfish",
+    category=CATEGORY_LOW,
+    benchmark_type="security",
+    threads=1,
+    total_work_gcycles=_work(280.0, 1),
+    activity=1.12,
+    mem_traffic=0.18,
+    background_util=0.22,
+    phases=(
+        WorkloadPhase(20.0, demand=1.0, mem=1.0),
+        WorkloadPhase(8.0, demand=0.75, mem=1.4),  # key-schedule I/O bursts
+    ),
+)
+
+SHA = WorkloadTrace(
+    name="sha",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="security",
+    threads=1,
+    total_work_gcycles=_work(110.0, 1),
+    activity=1.25,
+    mem_traffic=0.25,
+    background_util=0.28,
+)
+
+# ---------------------------------------------------------------------------
+# Mi-Bench: Network
+# ---------------------------------------------------------------------------
+DIJKSTRA = WorkloadTrace(
+    name="dijkstra",
+    category=CATEGORY_LOW,
+    benchmark_type="network",
+    threads=1,
+    total_work_gcycles=_work(64.0, 1),
+    activity=1.10,
+    mem_traffic=0.22,
+    background_util=0.25,
+    phases=(
+        WorkloadPhase(10.0, demand=1.0),
+        WorkloadPhase(4.0, demand=0.8, mem=1.3),  # adjacency list walks
+    ),
+)
+
+PATRICIA = WorkloadTrace(
+    name="patricia",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="network",
+    threads=2,
+    total_work_gcycles=_work(300.0, 2),
+    activity=1.15,
+    mem_traffic=0.30,
+    background_util=0.22,
+    phases=(
+        WorkloadPhase(25.0, demand=1.0),
+        WorkloadPhase(10.0, demand=0.7, mem=1.5),  # trie rebuild phases
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Mi-Bench: Computational
+# ---------------------------------------------------------------------------
+BASICMATH = WorkloadTrace(
+    name="basicmath",
+    category=CATEGORY_HIGH,
+    benchmark_type="computational",
+    threads=2,
+    total_work_gcycles=_work(140.0, 2),
+    activity=1.30,
+    mem_traffic=0.20,
+    background_util=0.25,
+)
+
+BITCOUNT = WorkloadTrace(
+    name="bitcount",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="computational",
+    threads=1,
+    total_work_gcycles=_work(95.0, 1),
+    activity=1.28,
+    mem_traffic=0.12,
+    background_util=0.28,
+)
+
+QSORT = WorkloadTrace(
+    name="qsort",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="computational",
+    threads=1,
+    total_work_gcycles=_work(120.0, 1),
+    activity=1.22,
+    mem_traffic=0.35,
+    background_util=0.28,
+)
+
+MATRIX_MULT = WorkloadTrace(
+    name="matrix_mult",
+    category=CATEGORY_HIGH,
+    benchmark_type="computational",
+    threads=4,
+    total_work_gcycles=_work(60.0, 4),
+    activity=1.10,
+    mem_traffic=0.45,
+    background_util=0.10,  # the four workers crowd out the background
+)
+
+# ---------------------------------------------------------------------------
+# Mi-Bench: Telecommunications
+# ---------------------------------------------------------------------------
+CRC32 = WorkloadTrace(
+    name="crc32",
+    category=CATEGORY_LOW,
+    benchmark_type="telecomm",
+    threads=1,
+    total_work_gcycles=_work(75.0, 1),
+    activity=1.14,
+    mem_traffic=0.30,
+    background_util=0.22,
+)
+
+GSM = WorkloadTrace(
+    name="gsm",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="telecomm",
+    threads=1,
+    total_work_gcycles=_work(130.0, 1),
+    activity=1.25,
+    mem_traffic=0.22,
+    background_util=0.28,
+    phases=(
+        WorkloadPhase(12.0, demand=1.0),
+        WorkloadPhase(3.0, demand=0.6, mem=1.2),  # frame boundaries
+    ),
+)
+
+FFT = WorkloadTrace(
+    name="fft",
+    category=CATEGORY_HIGH,
+    benchmark_type="telecomm",
+    threads=2,
+    total_work_gcycles=_work(120.0, 2),
+    activity=1.30,
+    mem_traffic=0.40,
+    background_util=0.25,
+)
+
+# ---------------------------------------------------------------------------
+# Mi-Bench: Consumer
+# ---------------------------------------------------------------------------
+JPEG = WorkloadTrace(
+    name="jpeg",
+    category=CATEGORY_MEDIUM,
+    benchmark_type="consumer",
+    threads=1,
+    total_work_gcycles=_work(100.0, 1),
+    activity=1.22,
+    mem_traffic=0.40,
+    background_util=0.28,
+    phases=(
+        WorkloadPhase(6.0, demand=1.0, mem=1.0),  # encode
+        WorkloadPhase(5.0, demand=0.9, mem=1.4),  # decode, more traffic
+        WorkloadPhase(2.0, demand=0.5, mem=1.6),  # image load/store
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Games and video (Android applications)
+# ---------------------------------------------------------------------------
+ANGRY_BIRDS = WorkloadTrace(
+    name="angry_birds",
+    category=CATEGORY_HIGH,
+    benchmark_type="game",
+    threads=3,  # physics + render threads + background matrix multiply
+    total_work_gcycles=_work(110.0, 3) * 0.70,
+    thread_demand=0.70,
+    activity=1.15,
+    gpu_demand=0.80,
+    gpu_activity=0.95,
+    mem_traffic=0.45,
+    background_util=0.15,
+    phases=(
+        WorkloadPhase(8.0, demand=1.0, gpu=1.0),  # gameplay
+        WorkloadPhase(3.0, demand=0.6, gpu=0.5),  # menus / aiming
+    ),
+)
+
+TEMPLERUN = WorkloadTrace(
+    name="templerun",
+    category=CATEGORY_HIGH,
+    benchmark_type="game",
+    threads=3,
+    total_work_gcycles=_work(100.0, 3) * 0.75,
+    thread_demand=0.75,
+    activity=1.10,
+    gpu_demand=0.85,
+    gpu_activity=1.00,
+    mem_traffic=0.50,
+    background_util=0.15,
+    phases=(
+        WorkloadPhase(12.0, demand=1.0, gpu=1.0),
+        WorkloadPhase(4.0, demand=0.95, gpu=0.92),  # respawn / transitions
+    ),
+)
+
+YOUTUBE = WorkloadTrace(
+    name="youtube",
+    category=CATEGORY_LOW,
+    benchmark_type="video",
+    threads=1,
+    total_work_gcycles=_work(150.0, 1) * 0.50,
+    thread_demand=0.50,
+    activity=0.90,
+    gpu_demand=0.65,
+    gpu_activity=0.80,
+    mem_traffic=0.45,
+    background_util=0.18,
+    phases=(
+        WorkloadPhase(10.0, demand=0.9, gpu=1.0),
+        WorkloadPhase(5.0, demand=0.6, gpu=0.9, mem=1.2),  # buffering
+    ),
+)
+
+#: All benchmarks of Table 6.4, in the paper's listing order.
+ALL_BENCHMARKS: Tuple[WorkloadTrace, ...] = (
+    BLOWFISH,
+    SHA,
+    DIJKSTRA,
+    PATRICIA,
+    BASICMATH,
+    MATRIX_MULT,
+    BITCOUNT,
+    QSORT,
+    CRC32,
+    GSM,
+    FFT,
+    JPEG,
+    ANGRY_BIRDS,
+    TEMPLERUN,
+    YOUTUBE,
+)
+
+_REGISTRY: Dict[str, WorkloadTrace] = {b.name: b for b in ALL_BENCHMARKS}
+
+
+def get_benchmark(name: str) -> WorkloadTrace:
+    """Look a benchmark up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            "unknown benchmark %r (known: %s)" % (name, sorted(_REGISTRY))
+        ) from None
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names in Table 6.4 order."""
+    return [b.name for b in ALL_BENCHMARKS]
+
+
+def benchmarks_by_category(category: str) -> List[WorkloadTrace]:
+    """All benchmarks with the given power category."""
+    hits = [b for b in ALL_BENCHMARKS if b.category == category]
+    if not hits:
+        raise WorkloadError("no benchmarks in category %r" % category)
+    return hits
+
+
+def table_6_4_rows() -> List[Tuple[str, str, str]]:
+    """(type, benchmark, category) rows mirroring Table 6.4."""
+    return [
+        (b.benchmark_type, b.name, b.category) for b in ALL_BENCHMARKS
+    ]

@@ -1,0 +1,104 @@
+"""Synthetic workload-trace synthesis.
+
+Produces parameterised benchmark variants for stress tests, ablations and
+property-based testing: a seeded generator maps (category, duration,
+threads, gpu share) to a :class:`WorkloadTrace` with a plausible phase
+structure, so test suites can sweep the workload space far beyond the 15
+named benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    CATEGORIES,
+    CATEGORY_HIGH,
+    CATEGORY_LOW,
+    CATEGORY_MEDIUM,
+    WorkloadPhase,
+    WorkloadTrace,
+)
+
+#: Category -> (activity range, background range, mem range)
+_CATEGORY_PROFILE = {
+    CATEGORY_LOW: ((0.70, 0.92), (0.14, 0.20), (0.10, 0.30)),
+    CATEGORY_MEDIUM: ((0.95, 1.10), (0.20, 0.26), (0.15, 0.40)),
+    CATEGORY_HIGH: ((1.10, 1.30), (0.22, 0.30), (0.20, 0.50)),
+}
+
+_REF_GHZ = 1.6
+
+
+def synthesize(
+    category: str,
+    duration_s: float,
+    threads: int = None,
+    gpu_demand: float = 0.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+    num_phases: int = 3,
+) -> WorkloadTrace:
+    """Generate a synthetic benchmark of the requested category.
+
+    Parameters
+    ----------
+    category:
+        One of ``"low" / "medium" / "high"``.
+    duration_s:
+        Nominal full-speed run length the total work is sized for.
+    threads:
+        CPU worker threads (default: category-typical -- 1 for low,
+        1-2 for medium, 2-4 for high).
+    gpu_demand:
+        GPU busy fraction (0 for CPU-only benchmarks).
+    seed:
+        Drives all randomised choices, so traces are reproducible.
+    num_phases:
+        Number of phases in the repeating phase cycle (0 disables phases).
+    """
+    if category not in CATEGORIES:
+        raise WorkloadError("unknown category %r" % category)
+    if duration_s <= 0:
+        raise WorkloadError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    (act_lo, act_hi), (bg_lo, bg_hi), (mem_lo, mem_hi) = _CATEGORY_PROFILE[category]
+
+    if threads is None:
+        pick = {
+            CATEGORY_LOW: (1,),
+            CATEGORY_MEDIUM: (1, 2),
+            CATEGORY_HIGH: (2, 3, 4),
+        }[category]
+        threads = int(rng.choice(pick))
+    if threads < 1:
+        raise WorkloadError("threads must be >= 1")
+
+    phases = []
+    for _ in range(max(0, num_phases)):
+        phases.append(
+            WorkloadPhase(
+                duration_s=float(rng.uniform(4.0, 20.0)),
+                demand=float(rng.uniform(0.6, 1.0)),
+                gpu=float(rng.uniform(0.5, 1.0)) if gpu_demand > 0 else 1.0,
+                mem=float(rng.uniform(0.8, 1.5)),
+            )
+        )
+
+    return WorkloadTrace(
+        name=name or "synthetic-%s-%d" % (category, seed),
+        category=category,
+        benchmark_type="synthetic",
+        threads=threads,
+        total_work_gcycles=duration_s * _REF_GHZ * threads,
+        activity=float(rng.uniform(act_lo, act_hi)),
+        gpu_demand=gpu_demand,
+        gpu_activity=float(rng.uniform(0.8, 1.0)),
+        mem_traffic=float(rng.uniform(mem_lo, mem_hi)),
+        background_util=float(rng.uniform(bg_lo, bg_hi)),
+        phases=tuple(phases),
+        demand_jitter=float(rng.uniform(0.01, 0.05)),
+    )

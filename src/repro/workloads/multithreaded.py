@@ -1,0 +1,76 @@
+"""Multi-threaded benchmarks for the Fig. 6.10 evaluation.
+
+The paper's multi-threaded summary plots parallel FFT and LU decomposition
+(plus the self-written matrix multiplication used throughout).  These are
+classic fork/join kernels: all worker threads stay busy, so they saturate
+however many big cores are online and produce the cluster's highest power
+draw -- the regime where the DTPM budget machinery earns the largest
+platform-power savings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.trace import CATEGORY_HIGH, WorkloadPhase, WorkloadTrace
+
+_REF_GHZ = 1.6
+
+
+def fft_mt(threads: int = 4, duration_s: float = 90.0) -> WorkloadTrace:
+    """Parallel FFT: compute-heavy butterflies with strided memory access."""
+    _check(threads, duration_s)
+    return WorkloadTrace(
+        name="fft_mt",
+        category=CATEGORY_HIGH,
+        benchmark_type="multithreaded",
+        threads=threads,
+        total_work_gcycles=duration_s * _REF_GHZ * threads,
+        activity=1.20,
+        mem_traffic=0.50,
+        background_util=0.10,
+        phases=(
+            WorkloadPhase(6.0, demand=1.0, mem=1.0),  # butterfly stages
+            WorkloadPhase(2.0, demand=0.8, mem=1.5),  # bit-reversal shuffles
+        ),
+    )
+
+
+def lu_mt(threads: int = 4, duration_s: float = 110.0) -> WorkloadTrace:
+    """Parallel LU decomposition: trailing-submatrix updates dominate."""
+    _check(threads, duration_s)
+    return WorkloadTrace(
+        name="lu_mt",
+        category=CATEGORY_HIGH,
+        benchmark_type="multithreaded",
+        threads=threads,
+        total_work_gcycles=duration_s * _REF_GHZ * threads,
+        activity=1.15,
+        mem_traffic=0.45,
+        background_util=0.10,
+        phases=(
+            WorkloadPhase(8.0, demand=1.0),  # panel factorisation + update
+            WorkloadPhase(1.5, demand=0.6, mem=1.3),  # pivot search barriers
+        ),
+    )
+
+
+def matrix_mult_mt(threads: int = 4, duration_s: float = 60.0) -> WorkloadTrace:
+    """The self-written matrix multiplication, thread count configurable."""
+    _check(threads, duration_s)
+    return WorkloadTrace(
+        name="matrix_mult_mt%d" % threads,
+        category=CATEGORY_HIGH,
+        benchmark_type="multithreaded",
+        threads=threads,
+        total_work_gcycles=duration_s * _REF_GHZ * threads,
+        activity=1.10,
+        mem_traffic=0.45,
+        background_util=0.10,
+    )
+
+
+def _check(threads: int, duration_s: float) -> None:
+    if not 1 <= threads <= 4:
+        raise WorkloadError("threads must be in 1..4 (one cluster)")
+    if duration_s <= 0:
+        raise WorkloadError("duration must be positive")

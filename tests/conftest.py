@@ -1,0 +1,34 @@
+"""Shared fixtures: expensive model building happens once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.platform.specs import PlatformSpec
+from repro.sim.models import ModelBundle, build_models
+
+
+@pytest.fixture(scope="session")
+def spec() -> PlatformSpec:
+    """The default (paper-calibrated) platform spec."""
+    return PlatformSpec()
+
+
+@pytest.fixture(scope="session")
+def config() -> SimulationConfig:
+    """The default simulation configuration."""
+    return SimulationConfig()
+
+
+@pytest.fixture(scope="session")
+def models() -> ModelBundle:
+    """Characterized + identified model bundle (built once per session)."""
+    return build_models()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,43 @@
+"""Smoke: every Table-6.4 benchmark completes under the default stack."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator, ThermalMode
+from repro.workloads.benchmarks import ALL_BENCHMARKS
+
+
+@pytest.mark.parametrize("workload", ALL_BENCHMARKS, ids=lambda w: w.name)
+def test_benchmark_completes_with_fan(workload):
+    sim = Simulator(workload, ThermalMode.DEFAULT_WITH_FAN, max_duration_s=600.0)
+    result = sim.run()
+    assert result.completed, workload.name
+    # execution time lands near the nominal sizing (governor ramp allowed)
+    nominal = workload.nominal_duration_s()
+    assert nominal * 0.95 <= result.execution_time_s <= nominal * 1.35
+    # physically sane traces
+    temps = result.max_temps_c()
+    assert np.all(temps > 20.0) and np.all(temps < 95.0)
+    power = result.trace.column("platform_power_w")
+    assert np.all(power[5:] > 1.0) and np.all(power < 12.0)
+    # the platform never runs both clusters at once
+    assert set(np.unique(result.trace.column("cluster_is_big"))) <= {0.0, 1.0}
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [w for w in ALL_BENCHMARKS if w.category == "high"],
+    ids=lambda w: w.name,
+)
+def test_high_benchmarks_complete_under_dtpm(workload, models):
+    from repro.sim.experiment import make_dtpm_governor
+
+    sim = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models),
+        max_duration_s=900.0,
+    )
+    result = sim.run()
+    assert result.completed, workload.name
+    assert result.peak_temp_c() < 66.5, workload.name

@@ -1,0 +1,128 @@
+"""Analysis helpers: stats, tables, ASCII figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import ascii_bars, ascii_grouped_bars, ascii_timeseries
+from repro.analysis.stats import (
+    average_fan_power_w,
+    fan_duty,
+    frequency_residency,
+    regulation_quality,
+    stability_stats,
+)
+from repro.analysis.tables import benchmark_table, frequency_table, render_table
+from repro.errors import SimulationError
+from repro.platform.specs import BIG_FREQUENCIES_HZ, FAN_POWER_W
+from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
+from repro.workloads.benchmarks import table_6_4_rows
+
+
+def _result(temps=None, freqs=None, fans=None):
+    n = 100
+    temps = temps if temps is not None else [62.0] * n
+    freqs = freqs if freqs is not None else [1.6e9] * n
+    fans = fans if fans is not None else [0] * n
+    rec = TraceRecorder(RUN_COLUMNS)
+    for i in range(len(temps)):
+        row = {c: 0.0 for c in RUN_COLUMNS}
+        row.update(
+            time_s=(i + 1) * 0.1,
+            max_temp_c=temps[i],
+            big_freq_hz=freqs[i],
+            fan_speed=float(fans[i]),
+        )
+        rec.append(**row)
+    return RunResult(
+        benchmark="x", mode="dtpm", completed=True,
+        execution_time_s=len(temps) * 0.1,
+        average_platform_power_w=5.0, energy_j=50.0, trace=rec,
+    )
+
+
+def test_stability_stats():
+    res = _result(temps=[50.0] * 50 + [62.0, 63.0] * 25)
+    stats = stability_stats(res, skip_s=5.0)
+    assert stats.max_min_c == pytest.approx(1.0)
+    assert stats.average_temp_c == pytest.approx(62.5)
+    assert stats.peak_c == 63.0
+
+
+def test_regulation_quality():
+    res = _result(temps=[62.0] * 80 + [64.0] * 20)
+    q = regulation_quality(res, 63.0, skip_s=0.5)
+    assert q["peak_exceedance_c"] == pytest.approx(1.0)
+    assert 0 < q["fraction_over"] < 1
+
+
+def test_frequency_residency():
+    res = _result(freqs=[1.6e9] * 50 + [1.2e9] * 50)
+    resid = frequency_residency(res)
+    assert resid[1.6] == pytest.approx(0.5)
+    assert resid[1.2] == pytest.approx(0.5)
+
+
+def test_fan_duty_and_average_power():
+    res = _result(fans=[0] * 50 + [2] * 50)
+    duty = fan_duty(res)
+    assert duty[0] == pytest.approx(0.5)
+    assert duty[2] == pytest.approx(0.5)
+    avg = average_fan_power_w(res, FAN_POWER_W)
+    assert avg == pytest.approx(0.5 * FAN_POWER_W[2])
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_validation():
+    with pytest.raises(SimulationError):
+        render_table(["a"], [])
+    with pytest.raises(SimulationError):
+        render_table(["a"], [[1, 2]])
+
+
+def test_frequency_table_output():
+    out = frequency_table(BIG_FREQUENCIES_HZ, "Table 6.1")
+    assert "Table 6.1" in out
+    assert "1600" in out and "800" in out
+
+
+def test_benchmark_table_output():
+    out = benchmark_table(table_6_4_rows())
+    assert "templerun" in out
+    assert "security" in out
+
+
+def test_ascii_timeseries_renders_all_series():
+    t = np.linspace(0, 10, 50)
+    out = ascii_timeseries(
+        {"with fan": (t, 60 + np.sin(t)), "dtpm": (t, 62 + 0 * t)},
+        title="Fig 6.3",
+    )
+    assert "Fig 6.3" in out
+    assert "with fan" in out and "dtpm" in out
+    assert "*" in out and "o" in out
+
+
+def test_ascii_timeseries_validation():
+    with pytest.raises(SimulationError):
+        ascii_timeseries({})
+
+
+def test_ascii_bars():
+    out = ascii_bars({"dijkstra": 3.0, "matmul": 14.0}, unit="%")
+    assert "dijkstra" in out and "#" in out
+
+
+def test_ascii_grouped_bars():
+    out = ascii_grouped_bars(
+        {"fft": {"savings": 9.0, "loss": 2.0}}, unit="%"
+    )
+    assert "fft" in out and "savings" in out and "loss" in out
+    with pytest.raises(SimulationError):
+        ascii_grouped_bars({})

@@ -1,0 +1,48 @@
+"""Battery lifetime model (the Section 6.3.3 arithmetic)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.battery import Battery
+
+
+def test_lifetime_basics():
+    battery = Battery(capacity_wh=10.0, rate_derating=0.0)
+    assert battery.lifetime_h(5.0) == pytest.approx(2.0)
+    assert battery.lifetime_h(4.0) == pytest.approx(2.5)
+
+
+def test_paper_arithmetic_14_percent_to_25_percent():
+    """14 % platform savings -> ~25 % battery life (the paper's example)."""
+    # the paper's datum: 0.7 W saved off a 5 W platform, 2 h baseline
+    battery = Battery(capacity_wh=10.0, reference_power_w=3.0, rate_derating=0.03)
+    baseline = 5.0
+    improved = baseline - 0.7  # the 14 % savings
+    gain = battery.lifetime_extension_pct(baseline, improved)
+    assert 15.0 < gain < 35.0  # the paper's ~25 % band
+    assert battery.lifetime_h(baseline) == pytest.approx(2.0, abs=0.15)
+
+
+def test_rate_derating_reduces_capacity():
+    battery = Battery(capacity_wh=10.0, reference_power_w=3.0, rate_derating=0.05)
+    assert battery.effective_capacity_wh(3.0) == pytest.approx(10.0)
+    assert battery.effective_capacity_wh(5.0) < 10.0
+    # derating floored at 50 %
+    assert battery.effective_capacity_wh(100.0) == pytest.approx(5.0)
+
+
+def test_derating_makes_savings_compound():
+    flat = Battery(capacity_wh=10.0, rate_derating=0.0)
+    derated = Battery(capacity_wh=10.0, reference_power_w=3.0, rate_derating=0.05)
+    assert derated.lifetime_extension_pct(5.0, 4.3) > flat.lifetime_extension_pct(
+        5.0, 4.3
+    )
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Battery(capacity_wh=0.0)
+    with pytest.raises(ConfigurationError):
+        Battery(rate_derating=-1.0)
+    with pytest.raises(ConfigurationError):
+        Battery().lifetime_h(0.0)

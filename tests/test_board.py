@@ -1,0 +1,91 @@
+"""OdroidBoard: plant integration, warm start, sensor view, power meter."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.platform.board import OdroidBoard
+from repro.units import KELVIN_OFFSET
+
+
+@pytest.fixture()
+def board():
+    return OdroidBoard(config=SimulationConfig(), fan_enabled=False)
+
+
+def _run(board, seconds, utils=(1.0,) * 4, freq=1.6e9, gpu=0.05, mem=0.3):
+    board.soc.big.set_frequency(freq)
+    for _ in range(int(seconds * 10)):
+        board.step(utils, (0.0,) * 4, gpu, mem, 0.1)
+
+
+def test_warm_start_sets_hotspots(board):
+    board.warm_start(50.0)
+    temps = board.true_hotspots_k() - KELVIN_OFFSET
+    assert np.allclose(temps, 50.0, atol=0.01)
+
+
+def test_time_advances(board):
+    _run(board, 2.0)
+    assert board.time_s == pytest.approx(2.0)
+
+
+def test_full_load_heats_up(board):
+    board.warm_start(40.0)
+    t0 = board.true_hotspots_k().max()
+    _run(board, 30.0)
+    assert board.true_hotspots_k().max() > t0 + 8.0
+
+
+def test_idle_cools_down(board):
+    board.warm_start(70.0)
+    _run(board, 30.0, utils=(0.05,) * 4, freq=8e8, gpu=0.0, mem=0.05)
+    assert board.true_hotspots_k().max() < 70.0 + KELVIN_OFFSET
+
+
+def test_fan_limits_temperature():
+    hot = OdroidBoard(config=SimulationConfig(), fan_enabled=False)
+    cooled = OdroidBoard(config=SimulationConfig(), fan_enabled=True)
+    for b in (hot, cooled):
+        b.warm_start(50.0)
+        _run(b, 120.0)
+    assert cooled.true_hotspots_k().max() < hot.true_hotspots_k().max() - 1.0
+    assert cooled.fan.speed > 0
+
+
+def test_sensor_snapshot_contents(board):
+    board.warm_start(45.0)
+    _run(board, 1.0)
+    snap = board.read_sensors()
+    assert snap.temperatures_k.shape == (4,)
+    assert snap.powers_w.shape == (4,)
+    assert snap.max_temperature_k == pytest.approx(
+        snap.temperatures_k.max()
+    )
+    assert 0 <= snap.hottest_core < 4
+    # sensors should be near ground truth
+    assert np.allclose(
+        snap.temperatures_k, board.true_hotspots_k(), atol=1.0
+    )
+
+
+def test_platform_power_includes_static_floor(board):
+    _run(board, 1.0, utils=(0.0,) * 4, freq=8e8, gpu=0.0, mem=0.0)
+    assert board.true_platform_power_w() > board.spec.platform_static_power_w
+
+
+def test_meter_accumulates_energy(board):
+    _run(board, 5.0)
+    assert board.meter.energy_j > 0
+    assert board.meter.average_power_w == pytest.approx(
+        board.meter.energy_j / 5.0, rel=0.01
+    )
+
+
+def test_loaded_board_draws_more_power(board):
+    b_idle = OdroidBoard(config=SimulationConfig(), fan_enabled=False)
+    _run(b_idle, 5.0, utils=(0.05,) * 4, freq=8e8, gpu=0.0, mem=0.05)
+    _run(board, 5.0)
+    assert (
+        board.meter.average_power_w > b_idle.meter.average_power_w + 1.0
+    )

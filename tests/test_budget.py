@@ -1,0 +1,129 @@
+"""Power-budget computation (Eqs. 5.4-5.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import PowerBudgetComputer
+from repro.errors import BudgetError
+from repro.platform.specs import Resource
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture()
+def model():
+    a = 0.90 * np.eye(4) + 0.02 * (np.ones((4, 4)) - np.eye(4))
+    b = np.array(
+        [
+            [0.30, 0.05, 0.10, 0.08],
+            [0.28, 0.06, 0.09, 0.08],
+            [0.29, 0.05, 0.11, 0.07],
+            [0.27, 0.06, 0.10, 0.08],
+        ]
+    )
+    offset = (np.eye(4) - a) @ np.full(4, c2k(25.0))
+    return DiscreteThermalModel(a=a, b=b, offset=offset, ts_s=0.1)
+
+
+@pytest.fixture()
+def computer(model):
+    return PowerBudgetComputer(model, horizon_steps=10)
+
+
+TEMPS = np.full(4, c2k(55.0))
+POWERS = np.array([2.0, 0.01, 0.3, 0.25])
+
+
+def test_budget_is_consistent_with_prediction(model, computer):
+    """Running exactly at the budget puts the target row exactly at Tmax."""
+    tmax = c2k(63.0)
+    res = computer.compute(TEMPS, POWERS, tmax, Resource.BIG)
+    p = POWERS.copy()
+    p[0] = res.total_budget_w
+    pred = model.predict_n_constant(TEMPS, p, 10)
+    assert pred[res.row] == pytest.approx(tmax)
+
+
+def test_budget_monotone_in_constraint(computer):
+    loose = computer.compute(TEMPS, POWERS, c2k(70.0), Resource.BIG)
+    tight = computer.compute(TEMPS, POWERS, c2k(60.0), Resource.BIG)
+    assert loose.total_budget_w > tight.total_budget_w
+
+
+def test_budget_monotone_in_temperature(computer):
+    cool = computer.compute(np.full(4, c2k(45.0)), POWERS, c2k(63.0))
+    hot = computer.compute(np.full(4, c2k(60.0)), POWERS, c2k(63.0))
+    assert cool.total_budget_w > hot.total_budget_w
+
+
+def test_budget_shrinks_when_other_resources_draw_more(computer):
+    light = computer.compute(TEMPS, np.array([2.0, 0.01, 0.1, 0.1]), c2k(63.0))
+    heavy = computer.compute(TEMPS, np.array([2.0, 0.01, 1.5, 0.5]), c2k(63.0))
+    assert heavy.total_budget_w < light.total_budget_w
+
+
+def test_budget_targets_hottest_predicted_row(computer):
+    temps = np.array([c2k(60.0), c2k(52.0), c2k(52.0), c2k(52.0)])
+    res = computer.compute(temps, POWERS, c2k(63.0))
+    assert res.row == 0
+
+
+def test_budget_for_other_resources(computer):
+    res_little = computer.compute(TEMPS, POWERS, c2k(63.0), Resource.LITTLE)
+    res_gpu = computer.compute(TEMPS, POWERS, c2k(63.0), Resource.GPU)
+    assert np.isfinite(res_little.total_budget_w)
+    assert np.isfinite(res_gpu.total_budget_w)
+
+
+def test_strict_budget_never_larger(computer):
+    res = computer.compute(TEMPS, POWERS, c2k(63.0))
+    strict = computer.compute_strict(TEMPS, POWERS, c2k(63.0))
+    assert strict.total_budget_w <= res.total_budget_w + 1e-9
+
+
+def test_dynamic_budget_subtracts_leakage(computer):
+    res = computer.compute(TEMPS, POWERS, c2k(63.0))
+    assert res.dynamic_budget_w(0.3) == pytest.approx(res.total_budget_w - 0.3)
+
+
+def test_headroom_sign(computer):
+    head_cool = computer.headroom_k(np.full(4, c2k(40.0)), c2k(63.0))
+    head_hot = computer.headroom_k(np.full(4, c2k(70.0)), c2k(63.0))
+    assert np.all(head_cool > head_hot)
+
+
+def test_explicit_row_selection(computer):
+    res = computer.compute(TEMPS, POWERS, c2k(63.0), row=2)
+    assert res.row == 2
+
+
+def test_one_step_horizon_matches_eq_5_5(model):
+    """With n = 1 the computation reduces to the paper's exact Eq. 5.5."""
+    computer = PowerBudgetComputer(model, horizon_steps=1)
+    tmax = c2k(63.0)
+    res = computer.compute(TEMPS, POWERS, tmax, Resource.BIG, row=0)
+    # manual Eq. 5.5: B_1 P = Tmax - A_1 T  (with the affine offset term)
+    rhs = tmax - model.a[0] @ TEMPS - model.offset[0]
+    manual = (rhs - model.b[0, 1:] @ POWERS[1:]) / model.b[0, 0]
+    assert res.total_budget_w == pytest.approx(manual)
+
+
+def test_input_validation(computer, model):
+    with pytest.raises(BudgetError):
+        computer.compute(TEMPS[:2], POWERS, c2k(63.0))
+    with pytest.raises(BudgetError):
+        computer.compute(TEMPS, POWERS[:2], c2k(63.0))
+    with pytest.raises(BudgetError):
+        PowerBudgetComputer(model, horizon_steps=0)
+
+
+def test_unusable_coefficient_rejected(model):
+    # zero out the big column: no row can budget the big cluster
+    b = model.b.copy()
+    b[:, 0] = 0.0
+    degenerate = DiscreteThermalModel(
+        a=model.a, b=b, offset=model.offset, ts_s=0.1
+    )
+    computer = PowerBudgetComputer(degenerate, horizon_steps=10)
+    with pytest.raises(BudgetError):
+        computer.compute(TEMPS, POWERS, c2k(63.0), Resource.BIG)

@@ -1,0 +1,82 @@
+"""Furnace characterization: the full Section 4.1.1 procedure end to end.
+
+These tests run the simulated furnace against the board's ground truth and
+verify that what the procedure recovers matches what the silicon actually
+does -- without ever reading the hidden constants directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform.specs import LEAKAGE_SPECS, PlatformSpec, Resource
+from repro.power.characterization import (
+    DEFAULT_SETPOINTS_C,
+    FurnaceRig,
+    default_leakage_models,
+    default_power_model,
+)
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    rig = FurnaceRig(soak_s=60.0, measure_s=30.0)
+    return rig, rig.characterize()
+
+
+def test_furnace_covers_paper_setpoints():
+    assert DEFAULT_SETPOINTS_C == (40.0, 50.0, 60.0, 70.0, 80.0)
+
+
+def test_total_power_rises_with_furnace_temperature(characterization):
+    _, result = characterization
+    big_powers = [p.powers_w[0] for p in result.points_big_session]
+    assert all(b > a for a, b in zip(big_powers, big_powers[1:]))
+
+
+def test_junction_tracks_setpoint(characterization):
+    _, result = characterization
+    for point in result.points_big_session:
+        # light workload: small self-heating above the furnace setpoint
+        assert 0.0 < (point.junction_temp_k - c2k(point.setpoint_c)) < 8.0
+
+
+def test_fitted_models_match_ground_truth(characterization):
+    rig, result = characterization
+    models = result.leakage_models()
+    spec = rig.spec
+    vdds = {
+        Resource.BIG: spec.big_opp.voltage(spec.big_opp.f_min_hz),
+        Resource.LITTLE: spec.little_opp.voltage(spec.little_opp.f_min_hz),
+        Resource.GPU: spec.gpu_opp.voltage(spec.gpu_opp.f_min_hz),
+        Resource.MEM: spec.mem_vdd,
+    }
+    for resource, model in models.items():
+        truth = LEAKAGE_SPECS[resource]
+        for t_c in (45.0, 60.0, 75.0):
+            t = c2k(t_c)
+            assert model.power_w(t, vdds[resource]) == pytest.approx(
+                truth.power(t, vdds[resource]), rel=0.25
+            ), "%s leakage off at %.0f C" % (resource, t_c)
+
+
+def test_build_power_model_covers_all_resources(characterization):
+    rig, result = characterization
+    pm = rig.build_power_model(result)
+    for resource in Resource:
+        assert pm[resource] is not None
+
+
+def test_default_leakage_models_match_cached_fit():
+    models = default_leakage_models()
+    assert set(models) == set(Resource)
+    big = models[Resource.BIG]
+    # cached fit reproduces Fig. 4.3's range at the furnace voltage
+    assert 0.05 < big.power_w(c2k(40), 0.92) < 0.12
+    assert 0.20 < big.power_w(c2k(80), 0.92) < 0.35
+
+
+def test_default_power_model_has_opp_tables():
+    pm = default_power_model()
+    assert pm[Resource.BIG].opp_table is not None
+    assert pm[Resource.MEM].opp_table is None  # memory has no DVFS

@@ -1,0 +1,50 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 6.1" in out
+    assert "1600" in out
+    assert "templerun" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "dijkstra", "with_fan"]) == 0
+    out = capsys.readouterr().out
+    assert "dijkstra/with_fan" in out
+    assert "peak" in out
+
+
+def test_run_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "doom", "with_fan"])
+
+
+def test_run_rejects_unknown_mode():
+    with pytest.raises(SystemExit):
+        main(["run", "dijkstra", "turbo"])
+
+
+def test_identify_command(capsys):
+    assert main(["identify", "--duration", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "identified A:" in out
+    assert "spectral radius" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compare_command(capsys, models):
+    # uses the cached default models (session fixture already built them)
+    assert main(["compare", "dijkstra"]) == 0
+    out = capsys.readouterr().out
+    assert "with_fan" in out and "dtpm" in out
+    assert "savings %" in out

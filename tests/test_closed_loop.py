@@ -1,0 +1,78 @@
+"""Integration: the paper's headline behaviours on real benchmarks.
+
+Slower tests (full benchmark runs); they pin down the qualitative claims of
+Chapter 6 that the benchmark harness then quantifies figure by figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import compare_modes, run_benchmark
+from repro.sim.metrics import performance_loss_pct, power_savings_pct
+from repro.workloads.benchmarks import DIJKSTRA, MATRIX_MULT
+
+
+@pytest.fixture(scope="module")
+def matmul_runs(models):
+    return compare_modes(MATRIX_MULT, models=models)
+
+
+def test_no_fan_violates_constraint(matmul_runs, config):
+    no_fan = matmul_runs[ThermalMode.NO_FAN]
+    assert no_fan.peak_temp_c() > config.t_constraint_c + 1.0
+
+
+def test_dtpm_regulates_near_constraint(matmul_runs, config):
+    dtpm = matmul_runs[ThermalMode.DTPM]
+    # regulation: bounded overshoot (sensor noise + prediction error)
+    assert dtpm.peak_temp_c() < config.t_constraint_c + 2.5
+    assert dtpm.interventions > 0
+
+
+def test_dtpm_beats_fan_on_power(matmul_runs):
+    base = matmul_runs[ThermalMode.DEFAULT_WITH_FAN]
+    dtpm = matmul_runs[ThermalMode.DTPM]
+    assert power_savings_pct(base, dtpm) > 2.0
+
+
+def test_dtpm_performance_loss_small(matmul_runs):
+    base = matmul_runs[ThermalMode.DEFAULT_WITH_FAN]
+    dtpm = matmul_runs[ThermalMode.DTPM]
+    assert 0.0 <= performance_loss_pct(base, dtpm) < 10.0
+
+
+def test_reactive_loses_more_performance_than_dtpm(matmul_runs):
+    base = matmul_runs[ThermalMode.DEFAULT_WITH_FAN]
+    dtpm = matmul_runs[ThermalMode.DTPM]
+    reactive = matmul_runs[ThermalMode.REACTIVE]
+    assert performance_loss_pct(base, reactive) > performance_loss_pct(
+        base, dtpm
+    )
+
+
+def test_all_configurations_complete(matmul_runs):
+    for result in matmul_runs.values():
+        assert result.completed
+
+
+def test_low_benchmark_is_non_intrusive(models):
+    """Dijkstra barely triggers the DTPM (Fig. 6.6's story)."""
+    base = run_benchmark(DIJKSTRA, ThermalMode.DEFAULT_WITH_FAN, models=models)
+    dtpm = run_benchmark(DIJKSTRA, ThermalMode.DTPM, models=models)
+    assert performance_loss_pct(base, dtpm) < 1.0
+    # frequencies essentially identical to the default's
+    assert (
+        np.mean(dtpm.big_freqs_ghz() < base.big_freqs_ghz().max() - 0.05)
+        < 0.2
+    )
+
+
+def test_dtpm_never_uses_fan(matmul_runs):
+    dtpm = matmul_runs[ThermalMode.DTPM]
+    assert np.all(dtpm.trace.column("fan_speed") == 0.0)
+
+
+def test_fan_active_in_default_run(matmul_runs):
+    base = matmul_runs[ThermalMode.DEFAULT_WITH_FAN]
+    assert base.trace.column("fan_speed").max() >= 1.0

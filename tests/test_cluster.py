@@ -1,0 +1,141 @@
+"""CpuCluster: symmetric DVFS, hotplug rules, power decomposition."""
+
+import pytest
+
+from repro.errors import ClusterStateError, ConfigurationError
+from repro.platform.cluster import CpuCluster
+from repro.platform.specs import (
+    BIG_CORE,
+    BIG_LEAKAGE,
+    BIG_OPP_TABLE,
+    LITTLE_CORE,
+    LITTLE_LEAKAGE,
+    LITTLE_OPP_TABLE,
+    Resource,
+)
+from repro.units import celsius_to_kelvin, mhz
+
+
+@pytest.fixture()
+def big():
+    cluster = CpuCluster(Resource.BIG, BIG_OPP_TABLE, BIG_CORE, BIG_LEAKAGE)
+    cluster.activate()
+    return cluster
+
+
+@pytest.fixture()
+def little():
+    return CpuCluster(
+        Resource.LITTLE, LITTLE_OPP_TABLE, LITTLE_CORE, LITTLE_LEAKAGE
+    )
+
+
+def test_initial_state(big):
+    assert big.num_online == 4
+    assert big.frequency_hz == BIG_OPP_TABLE.f_min_hz
+    assert big.active
+
+
+def test_set_frequency_exact_only(big):
+    big.set_frequency(mhz(1200))
+    assert big.frequency_hz == mhz(1200)
+    with pytest.raises(Exception):
+        big.set_frequency(mhz(1250))
+
+
+def test_request_frequency_quantises(big):
+    resolved = big.request_frequency(mhz(1250))
+    assert resolved == mhz(1200)
+    assert big.frequency_hz == mhz(1200)
+
+
+def test_voltage_tracks_frequency(big):
+    big.set_frequency(mhz(800))
+    v_low = big.voltage
+    big.set_frequency(mhz(1600))
+    assert big.voltage > v_low
+
+
+def test_hotplug_and_online_list(big):
+    big.set_core_online(2, False)
+    assert big.num_online == 3
+    assert big.online_cores == [0, 1, 3]
+    big.set_core_online(2, True)
+    assert big.num_online == 4
+
+
+def test_cannot_offline_last_core_of_active_cluster(big):
+    for core in (1, 2, 3):
+        big.set_core_online(core, False)
+    with pytest.raises(ClusterStateError):
+        big.set_core_online(0, False)
+
+
+def test_inactive_cluster_can_offline_everything(little):
+    little.deactivate()
+    for core in range(4):
+        little.set_core_online(core, False)
+    assert little.num_online == 0
+
+
+def test_set_num_online_bounds(big):
+    big.set_num_online(2)
+    assert big.online_cores == [0, 1]
+    with pytest.raises(ClusterStateError):
+        big.set_num_online(0)
+    with pytest.raises(ClusterStateError):
+        big.set_num_online(5)
+
+
+def test_core_index_bounds(big):
+    with pytest.raises(ClusterStateError):
+        big.set_core_online(4, False)
+
+
+def test_power_scales_with_online_cores(big):
+    t = celsius_to_kelvin(55)
+    big.set_frequency(mhz(1600))
+    p4 = big.power((1.0, 1.0, 1.0, 1.0), t)
+    big.set_num_online(2)
+    p2 = big.power((1.0, 1.0, 1.0, 1.0), t)
+    assert p2.dynamic_w == pytest.approx(p4.dynamic_w / 2)
+    assert p2.leakage_w < p4.leakage_w  # power-gated cores stop leaking
+
+
+def test_power_of_gated_cluster_is_residual_leakage(little):
+    little.deactivate()
+    p = little.power((1.0,) * 4, celsius_to_kelvin(55))
+    assert p.dynamic_w == 0.0
+    assert 0.0 < p.leakage_w < 0.02
+
+
+def test_power_requires_four_utilisations(big):
+    with pytest.raises(ConfigurationError):
+        big.power((1.0, 1.0), celsius_to_kelvin(55))
+
+
+def test_dynamic_power_increases_with_frequency(big):
+    t = celsius_to_kelvin(55)
+    big.set_frequency(mhz(800))
+    p_low = big.power((1.0,) * 4, t)
+    big.set_frequency(mhz(1600))
+    p_high = big.power((1.0,) * 4, t)
+    # f doubles and V^2 grows another ~1.85x
+    assert p_high.dynamic_w > 3.0 * p_low.dynamic_w
+
+
+def test_max_dynamic_power_is_upper_bound(big):
+    t = celsius_to_kelvin(80)
+    big.set_frequency(BIG_OPP_TABLE.f_max_hz)
+    p = big.power((1.0,) * 4, t, activity=1.0)
+    assert p.dynamic_w <= big.max_dynamic_power(activity=1.0) + 1e-12
+
+
+def test_cluster_requires_positive_cores():
+    with pytest.raises(ConfigurationError):
+        CpuCluster(Resource.BIG, BIG_OPP_TABLE, BIG_CORE, BIG_LEAKAGE, num_cores=0)
+
+
+def test_total_power_property(big):
+    p = big.power((0.5,) * 4, celsius_to_kelvin(50))
+    assert p.total_w == pytest.approx(p.dynamic_w + p.leakage_w)

@@ -1,0 +1,93 @@
+"""Integration: the full last-resort path (core shutdown -> little cluster).
+
+Under an aggressive thermal constraint the big cluster cannot satisfy the
+budget even at three cores x f_min, so the policy must migrate everything
+to the little cluster -- and migrate back once the headroom returns
+(Section 5.2's complete decision ladder, exercised in closed loop).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.experiment import make_dtpm_governor
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def aggressive_run(models):
+    config = SimulationConfig(t_constraint_c=42.0)
+    workload = synthesize("high", 30.0, threads=4, seed=3)
+    governor = make_dtpm_governor(models, config=config)
+    sim = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=governor,
+        config=config,
+        warm_start_c=38.0,
+        max_duration_s=400.0,
+    )
+    return sim.run(), config
+
+
+def test_run_completes_despite_migrations(aggressive_run):
+    result, _ = aggressive_run
+    assert result.completed
+
+
+def test_migrates_to_little_and_back(aggressive_run):
+    result, _ = aggressive_run
+    cluster = result.trace.column("cluster_is_big")
+    assert result.cluster_migrations >= 2  # there and back again
+    assert 0.02 < float(np.mean(cluster == 0.0)) < 0.9
+    # starts and (having cooled) finishes on the big cluster
+    assert cluster[0] == 1.0
+
+
+def test_cores_offlined_before_migrating(aggressive_run):
+    result, _ = aggressive_run
+    assert result.cores_offlined > 0
+    online = result.trace.column("online_cores")
+    assert online.min() <= 3
+
+
+def test_constraint_respected_within_tolerance(aggressive_run):
+    result, config = aggressive_run
+    # bounded overshoot even under the pathological constraint
+    assert result.peak_temp_c() < config.t_constraint_c + 2.5
+
+
+def test_little_cluster_frequency_valid(aggressive_run):
+    result, _ = aggressive_run
+    cluster = result.trace.column("cluster_is_big")
+    little_f = result.trace.column("little_freq_hz")[cluster == 0.0]
+    if little_f.size:
+        from repro.platform.specs import LITTLE_FREQUENCIES_HZ
+
+        for f in np.unique(little_f):
+            assert any(abs(f - lf) < 1.0 for lf in LITTLE_FREQUENCIES_HZ)
+
+
+def test_migration_costs_performance(models):
+    """The same workload at a relaxed constraint finishes faster."""
+    workload = synthesize("high", 30.0, threads=4, seed=3)
+    tight_cfg = SimulationConfig(t_constraint_c=42.0)
+    loose_cfg = SimulationConfig(t_constraint_c=75.0)
+    tight = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models, config=tight_cfg),
+        config=tight_cfg,
+        warm_start_c=38.0,
+        max_duration_s=500.0,
+    ).run()
+    loose = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models, config=loose_cfg),
+        config=loose_cfg,
+        warm_start_c=38.0,
+        max_duration_s=500.0,
+    ).run()
+    assert tight.execution_time_s > loose.execution_time_s

@@ -1,0 +1,57 @@
+"""Conservative cpufreq governor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.governors.base import LoadSample
+from repro.governors.conservative import ConservativeGovernor
+from repro.platform.specs import BIG_OPP_TABLE
+from repro.units import mhz
+
+
+def _sample(load, freq):
+    return LoadSample((load,), freq, 0.0)
+
+
+def test_steps_up_one_level_on_load():
+    gov = ConservativeGovernor(BIG_OPP_TABLE)
+    assert gov.propose(_sample(0.95, mhz(800))) == mhz(900)
+
+
+def test_steps_down_one_level_when_idle():
+    gov = ConservativeGovernor(BIG_OPP_TABLE)
+    assert gov.propose(_sample(0.05, mhz(1600))) == mhz(1500)
+
+
+def test_holds_in_band():
+    gov = ConservativeGovernor(BIG_OPP_TABLE)
+    assert gov.propose(_sample(0.5, mhz(1200))) == mhz(1200)
+
+
+def test_clamped_at_extremes():
+    gov = ConservativeGovernor(BIG_OPP_TABLE)
+    assert gov.propose(_sample(1.0, mhz(1600))) == mhz(1600)
+    assert gov.propose(_sample(0.0, mhz(800))) == mhz(800)
+
+
+def test_configurable_step():
+    gov = ConservativeGovernor(BIG_OPP_TABLE, freq_step=3)
+    assert gov.propose(_sample(1.0, mhz(800))) == mhz(1100)
+
+
+def test_never_jumps_to_max():
+    """Unlike ondemand: a saturating load climbs gradually."""
+    gov = ConservativeGovernor(BIG_OPP_TABLE)
+    freq = mhz(800)
+    history = []
+    for _ in range(5):
+        freq = gov.propose(_sample(1.0, freq))
+        history.append(freq)
+    assert history == [mhz(900), mhz(1000), mhz(1100), mhz(1200), mhz(1300)]
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ConservativeGovernor(BIG_OPP_TABLE, up_threshold=0.2, down_threshold=0.5)
+    with pytest.raises(ConfigurationError):
+        ConservativeGovernor(BIG_OPP_TABLE, freq_step=0)

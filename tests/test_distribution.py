@@ -1,0 +1,114 @@
+"""Chapter-7 budget distribution: branch-and-bound vs the greedy of Eq. 7.3."""
+
+import itertools
+
+import pytest
+
+from repro.core.distribution import (
+    Component,
+    exynos_components,
+    solve_branch_and_bound,
+    solve_greedy,
+)
+from repro.errors import BudgetError, ConfigurationError
+
+
+@pytest.fixture()
+def components():
+    return exynos_components()
+
+
+def _brute_force(components, budget):
+    best = None
+    for levels in itertools.product(
+        *[range(len(c.frequencies_ghz)) for c in components]
+    ):
+        cost = sum(
+            c.cost(c.frequencies_ghz[l]) for c, l in zip(components, levels)
+        )
+        power = sum(
+            c.power(c.frequencies_ghz[l]) for c, l in zip(components, levels)
+        )
+        if power <= budget and (best is None or cost < best):
+            best = cost
+    return best
+
+
+@pytest.mark.parametrize("budget", [1.0, 1.8, 2.5, 3.2, 4.0])
+def test_branch_and_bound_is_optimal(components, budget):
+    result = solve_branch_and_bound(components, budget)
+    brute = _brute_force(components, budget)
+    assert result.feasible
+    assert result.cost == pytest.approx(brute)
+    assert result.power_w <= budget + 1e-9
+
+
+@pytest.mark.parametrize("budget", [1.0, 1.8, 2.5, 3.2, 4.0])
+def test_greedy_is_feasible_and_near_optimal(components, budget):
+    greedy = solve_greedy(components, budget)
+    optimal = solve_branch_and_bound(components, budget)
+    assert greedy.feasible
+    assert greedy.power_w <= budget + 1e-9
+    assert greedy.cost >= optimal.cost - 1e-12
+    # the paper deploys greedy because it stays close to optimal
+    assert greedy.cost <= 1.3 * optimal.cost
+
+
+def test_unconstrained_budget_runs_everything_at_max(components):
+    result = solve_greedy(components, budget_w=100.0)
+    for comp in components:
+        assert result.frequencies_ghz[comp.name] == comp.frequencies_ghz[-1]
+    assert result.nodes_explored == 0  # no demotions needed
+
+
+def test_infeasible_budget_reported(components):
+    greedy = solve_greedy(components, budget_w=0.05)
+    assert not greedy.feasible
+    bnb = solve_branch_and_bound(components, budget_w=0.05)
+    assert not bnb.feasible
+    for comp in components:
+        assert greedy.frequencies_ghz[comp.name] == comp.frequencies_ghz[0]
+
+
+def test_greedy_throttles_least_costly_component_first():
+    cheap = Component("cheap", (1.0, 2.0), perf_coeff=0.1, power_coeff=1.0)
+    dear = Component("dear", (1.0, 2.0), perf_coeff=10.0, power_coeff=1.0)
+    # budget forces exactly one demotion; Eq. 7.3 picks the cheap one
+    budget = dear.power(2.0) + cheap.power(1.0) + 0.01
+    result = solve_greedy([cheap, dear], budget)
+    assert result.frequencies_ghz["cheap"] == 1.0
+    assert result.frequencies_ghz["dear"] == 2.0
+
+
+def test_three_component_problem():
+    comps = exynos_components(include_little=True)
+    bnb = solve_branch_and_bound(comps, 2.0)
+    greedy = solve_greedy(comps, 2.0)
+    assert bnb.feasible and greedy.feasible
+    assert bnb.cost <= greedy.cost + 1e-12
+
+
+def test_branch_and_bound_prunes(components):
+    result = solve_branch_and_bound(components, 2.5)
+    total_nodes = 1
+    for c in components:
+        total_nodes *= len(c.frequencies_ghz)
+    assert result.nodes_explored < 3 * total_nodes  # visits bounded
+
+
+def test_component_validation():
+    with pytest.raises(ConfigurationError):
+        Component("bad", (), 1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        Component("bad", (2.0, 1.0), 1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        Component("bad", (1.0,), -1.0, 1.0)
+
+
+def test_budget_validation(components):
+    with pytest.raises(BudgetError):
+        solve_greedy(components, 0.0)
+    with pytest.raises(BudgetError):
+        solve_branch_and_bound(components, -1.0)
+    with pytest.raises(ConfigurationError):
+        solve_greedy([], 1.0)

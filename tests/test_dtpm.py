@@ -1,0 +1,152 @@
+"""DtpmGovernor: the per-interval control path (Fig. 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.governors.base import PlatformConfig
+from repro.platform.board import SensorSnapshot
+from repro.platform.specs import PlatformSpec, Resource
+from repro.power.characterization import default_power_model
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.units import celsius_to_kelvin as c2k, mhz
+
+
+@pytest.fixture()
+def governor():
+    spec = PlatformSpec()
+    a = 0.90 * np.eye(4) + 0.02 * (np.ones((4, 4)) - np.eye(4))
+    # ~18 K/W DC gain on the big cluster: a 2.3 W cluster equilibrates in
+    # the mid-60s C, so 64 C + full power must predict a violation
+    b = np.tile(np.array([0.90, 0.15, 0.30, 0.24]), (4, 1))
+    offset = (np.eye(4) - a) @ np.full(4, c2k(25.0))
+    model = DiscreteThermalModel(a=a, b=b, offset=offset, ts_s=0.1)
+    gov = DtpmGovernor(model, default_power_model(spec), spec=spec)
+    return gov
+
+
+BIG_CONFIG = PlatformConfig(
+    cluster=Resource.BIG,
+    big_freq_hz=mhz(1600),
+    little_freq_hz=mhz(1200),
+    gpu_freq_hz=mhz(177),
+    big_online=4,
+    little_online=4,
+)
+
+
+def _snapshot(temp_c, p_big=2.3):
+    return SensorSnapshot(
+        time_s=10.0,
+        temperatures_k=np.full(4, c2k(temp_c)),
+        powers_w=np.array([p_big, 0.01, 0.2, 0.25]),
+        platform_power_w=5.0,
+    )
+
+
+def _prime(governor, temp_c=50.0, p_big=2.3, n=5):
+    for _ in range(n):
+        governor.control(_snapshot(temp_c, p_big), BIG_CONFIG, BIG_CONFIG)
+
+
+def test_non_intrusive_when_cool(governor):
+    _prime(governor)
+    outcome = governor.control(_snapshot(45.0), BIG_CONFIG, BIG_CONFIG)
+    assert not outcome.violation_predicted
+    assert not outcome.intervened
+    assert outcome.config == BIG_CONFIG
+
+
+def test_intervenes_when_violation_predicted(governor):
+    _prime(governor)
+    outcome = governor.control(_snapshot(64.0), BIG_CONFIG, BIG_CONFIG)
+    assert outcome.violation_predicted
+    assert outcome.intervened
+    assert outcome.budget is not None
+    assert (
+        outcome.config.big_freq_hz < BIG_CONFIG.big_freq_hz
+        or outcome.config.big_online < 4
+        or outcome.config.cluster is Resource.LITTLE
+    )
+
+
+def test_budget_respected_by_chosen_config(governor):
+    _prime(governor)
+    outcome = governor.control(_snapshot(64.0), BIG_CONFIG, BIG_CONFIG)
+    cfg = outcome.config
+    if cfg.cluster is Resource.BIG:
+        power = governor.policy.predicted_cluster_power_w(
+            governor.power_model,
+            Resource.BIG,
+            cfg.big_freq_hz,
+            cfg.big_online,
+            BIG_CONFIG.big_online,
+            c2k(64.0),
+        )
+        assert power <= outcome.budget.total_budget_w + 1e-9
+
+
+def test_alpha_c_learning_from_observations(governor):
+    est = governor.power_model[Resource.BIG].dynamic.estimator
+    assert est.sample_count == 0
+    _prime(governor, n=3)
+    assert est.sample_count == 3
+    assert est.alpha_c_f > 1e-11
+
+
+def test_operating_point_reflects_cluster(governor):
+    op_big = governor.operating_point(BIG_CONFIG)
+    assert op_big.big is not None and op_big.little is None
+    little_cfg = BIG_CONFIG.with_(cluster=Resource.LITTLE)
+    op_little = governor.operating_point(little_cfg)
+    assert op_little.big is None and op_little.little is not None
+    assert op_little.mem == (governor.spec.mem_vdd, 1.0)
+
+
+def test_predicted_power_vector_uses_measurement_when_unchanged(governor):
+    _prime(governor)
+    snap = _snapshot(55.0)
+    p = governor.predicted_power_vector(snap, BIG_CONFIG, BIG_CONFIG)
+    assert np.allclose(p, snap.powers_w)
+
+
+def test_predicted_power_vector_repredicts_on_freq_change(governor):
+    _prime(governor)
+    snap = _snapshot(55.0)
+    slower = BIG_CONFIG.with_(big_freq_hz=mhz(800))
+    p = governor.predicted_power_vector(snap, BIG_CONFIG, slower)
+    assert p[0] < snap.powers_w[0]  # lower f, lower V -> less power
+
+
+def test_predicted_power_vector_handles_gpu_change(governor):
+    _prime(governor)
+    snap = _snapshot(55.0)
+    faster_gpu = BIG_CONFIG.with_(gpu_freq_hz=mhz(533))
+    p = governor.predicted_power_vector(snap, BIG_CONFIG, faster_gpu)
+    assert p[2] != snap.powers_w[2]
+
+
+def test_reset_clears_policy_state(governor):
+    governor.policy._return_counter = 7
+    governor.reset()
+    assert governor.policy._return_counter == 0
+
+
+def test_observer_integration(governor):
+    """With an observer attached, control consumes filtered temperatures."""
+    import numpy as np
+    from repro.thermal.observer import TemperatureObserver
+
+    observed = DtpmGovernor(
+        governor.predictor.model,
+        default_power_model(governor.spec),
+        spec=governor.spec,
+        observer=TemperatureObserver(governor.predictor.model),
+    )
+    _prime(observed)
+    assert observed.observer.state_k is not None
+    outcome = observed.control(_snapshot(64.0), BIG_CONFIG, BIG_CONFIG)
+    assert outcome.violation_predicted
+    observed.reset()
+    assert observed.observer.state_k is None

@@ -1,0 +1,79 @@
+"""Run-time alpha*C tracking and dynamic power model (Fig. 4.4, Eq. 5.7)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.power.dynamic import AlphaCEstimator, DynamicPowerModel
+from repro.power.leakage import LeakageModel
+from repro.units import celsius_to_kelvin as c2k
+
+
+def test_estimator_first_sample_snaps():
+    est = AlphaCEstimator(initial_alpha_c_f=0.1e-9)
+    est.update(dynamic_power_w=1.0, vdd=1.0, frequency_hz=1e9)
+    assert est.alpha_c_f == pytest.approx(1e-9)
+
+
+def test_estimator_converges_to_true_value():
+    est = AlphaCEstimator(smoothing=0.3)
+    true_alpha_c = 0.28e-9
+    for _ in range(60):
+        p = true_alpha_c * 1.25 ** 2 * 1.6e9
+        est.update(p, 1.25, 1.6e9)
+    assert est.alpha_c_f == pytest.approx(true_alpha_c, rel=1e-6)
+    assert est.sample_count == 60
+
+
+def test_estimator_clamps_negative_observations():
+    est = AlphaCEstimator(floor_f=1e-12)
+    est.update(-0.5, 1.0, 1e9)  # leakage model overshoot at idle
+    assert est.alpha_c_f >= 1e-12
+
+
+def test_estimator_ceiling():
+    est = AlphaCEstimator(ceiling_f=1e-9)
+    est.update(1e3, 1.0, 1e9)
+    assert est.alpha_c_f <= 1e-9
+
+
+def test_estimator_parameter_validation():
+    with pytest.raises(ModelError):
+        AlphaCEstimator(smoothing=0.0)
+    with pytest.raises(ModelError):
+        AlphaCEstimator(floor_f=1.0, ceiling_f=0.5)
+    est = AlphaCEstimator()
+    with pytest.raises(ModelError):
+        est.update(1.0, 0.0, 1e9)
+
+
+def test_predict_matches_eq_4_1():
+    model = DynamicPowerModel(AlphaCEstimator(initial_alpha_c_f=0.2e-9))
+    assert model.predict_w(1.6e9, 1.25) == pytest.approx(
+        0.2e-9 * 1.25 ** 2 * 1.6e9
+    )
+
+
+def test_frequency_for_budget_inverts_prediction():
+    model = DynamicPowerModel(AlphaCEstimator(initial_alpha_c_f=0.2e-9))
+    budget = model.predict_w(1.2e9, 1.1)
+    assert model.frequency_for_budget_hz(budget, 1.1) == pytest.approx(1.2e9)
+
+
+def test_frequency_for_nonpositive_budget_is_zero():
+    model = DynamicPowerModel()
+    assert model.frequency_for_budget_hz(-1.0, 1.0) == 0.0
+    assert model.frequency_for_budget_hz(0.0, 1.0) == 0.0
+
+
+def test_observe_decomposes_total_power():
+    leak = LeakageModel(c1=7.7e-3, c2=-2900.0, i_gate=0.010)
+    model = DynamicPowerModel(AlphaCEstimator(smoothing=1.0))
+    t = c2k(55)
+    vdd, f = 1.1, 1.2e9
+    true_dynamic = 0.9
+    total = true_dynamic + leak.power_w(t, vdd)
+    observed_dynamic = model.observe(total, t, vdd, f, leak)
+    assert observed_dynamic == pytest.approx(true_dynamic)
+    assert model.estimator.alpha_c_f == pytest.approx(
+        true_dynamic / (vdd ** 2 * f)
+    )

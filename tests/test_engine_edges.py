@@ -1,0 +1,83 @@
+"""Engine edge paths: hotplug victim selection, penalties, idle governor."""
+
+import numpy as np
+import pytest
+
+from repro.governors.base import PlatformConfig
+from repro.platform.cluster import CpuCluster
+from repro.platform.specs import (
+    BIG_CORE,
+    BIG_LEAKAGE,
+    BIG_OPP_TABLE,
+    Resource,
+)
+from repro.sim.engine import Simulator, ThermalMode
+from repro.workloads.generator import synthesize
+
+
+def _cluster():
+    cluster = CpuCluster(Resource.BIG, BIG_OPP_TABLE, BIG_CORE, BIG_LEAKAGE)
+    cluster.activate()
+    return cluster
+
+
+def test_set_online_prefers_requested_victim():
+    cluster = _cluster()
+    changed = Simulator._set_online(cluster, 3, prefer_off=1)
+    assert changed == 1
+    assert not cluster.is_online(1)
+    assert cluster.online_cores == [0, 2, 3]
+
+
+def test_set_online_falls_back_to_highest_index():
+    cluster = _cluster()
+    changed = Simulator._set_online(cluster, 2, prefer_off=None)
+    assert changed == 2
+    assert cluster.online_cores == [0, 1]
+
+
+def test_set_online_restores_lowest_first():
+    cluster = _cluster()
+    Simulator._set_online(cluster, 2, prefer_off=None)
+    changed = Simulator._set_online(cluster, 4, prefer_off=None)
+    assert changed == 2
+    assert cluster.num_online == 4
+
+
+def test_set_online_noop():
+    cluster = _cluster()
+    assert Simulator._set_online(cluster, 4, prefer_off=None) == 0
+
+
+def test_idle_governor_downsizes_light_load():
+    """A near-idle workload sheds cores through the idle governor."""
+    workload = synthesize(
+        "low", 40.0, threads=1, seed=2, num_phases=0
+    )
+    object.__setattr__(workload, "background_util", 0.02)
+    object.__setattr__(workload, "thread_demand", 0.05)
+    sim = Simulator(workload, ThermalMode.DEFAULT_WITH_FAN, max_duration_s=600.0)
+    result = sim.run()
+    online = result.trace.column("online_cores")
+    assert online.min() < 4  # hotplug actually engaged
+    assert online.min() >= 1
+
+
+def test_migration_penalty_costs_work(models):
+    """A run with forced migrations takes longer than its nominal time."""
+    from repro.config import SimulationConfig
+    from repro.sim.experiment import make_dtpm_governor
+
+    config = SimulationConfig(t_constraint_c=42.0)
+    workload = synthesize("high", 20.0, threads=4, seed=3)
+    sim = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models, config=config),
+        config=config,
+        warm_start_c=38.0,
+        max_duration_s=600.0,
+    )
+    result = sim.run()
+    assert result.completed
+    assert result.execution_time_s > workload.nominal_duration_s() * 1.1

@@ -1,0 +1,101 @@
+"""Experiment harness integration (the Section 6.2 configurations).
+
+These use the session-scoped model bundle; each run is a short synthetic
+workload so the whole module stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import (
+    compare_modes,
+    dtpm_vs_default,
+    make_dtpm_governor,
+    run_benchmark,
+)
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def hot_workload():
+    return synthesize("high", 45.0, threads=4, seed=11)
+
+
+def test_compare_modes_runs_all(models, hot_workload):
+    results = compare_modes(
+        hot_workload,
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN, ThermalMode.DTPM),
+        models=models,
+        warm_start_c=55.0,
+    )
+    assert set(r.mode for r in results.values()) == {
+        "with_fan",
+        "without_fan",
+        "dtpm",
+    }
+    for result in results.values():
+        assert result.completed
+
+
+def test_dtpm_cooler_than_no_fan(models, hot_workload):
+    results = compare_modes(
+        hot_workload,
+        modes=(ThermalMode.NO_FAN, ThermalMode.DTPM),
+        models=models,
+        warm_start_c=58.0,
+    )
+    no_fan = results[ThermalMode.NO_FAN]
+    dtpm = results[ThermalMode.DTPM]
+    assert dtpm.peak_temp_c() < no_fan.peak_temp_c()
+    assert dtpm.interventions > 0
+
+
+def test_dtpm_saves_platform_power(models, hot_workload):
+    results = compare_modes(
+        hot_workload,
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM),
+        models=models,
+        warm_start_c=58.0,
+    )
+    base = results[ThermalMode.DEFAULT_WITH_FAN]
+    dtpm = results[ThermalMode.DTPM]
+    assert dtpm.average_platform_power_w < base.average_platform_power_w
+
+
+def test_dtpm_vs_default_rows(models):
+    workloads = [
+        synthesize("low", 25.0, threads=1, seed=1),
+        synthesize("high", 30.0, threads=4, seed=2),
+    ]
+    rows = dtpm_vs_default(workloads, models=models, warm_start_c=55.0)
+    assert len(rows) == 2
+    assert rows[0].category == "low"
+    assert rows[1].category == "high"
+    # high-activity workload saves more platform power than the light one
+    assert rows[1].power_savings_pct >= rows[0].power_savings_pct - 0.5
+    for row in rows:
+        assert row.dtpm_time_s >= row.baseline_time_s - 0.5
+
+
+def test_make_dtpm_governor_fresh_estimators(models):
+    gov1 = make_dtpm_governor(models)
+    gov2 = make_dtpm_governor(models)
+    assert gov1.power_model is not gov2.power_model
+    from repro.platform.specs import Resource
+
+    assert (
+        gov1.power_model[Resource.BIG].dynamic.estimator.sample_count == 0
+    )
+    # leakage fits are the shared characterization product
+    assert (
+        gov1.power_model[Resource.BIG].leakage
+        is models.power[Resource.BIG].leakage
+    )
+
+
+def test_run_benchmark_seed_override(models):
+    wl = synthesize("medium", 15.0, threads=1, seed=4)
+    a = run_benchmark(wl, ThermalMode.NO_FAN, models=models, seed=1)
+    b = run_benchmark(wl, ThermalMode.NO_FAN, models=models, seed=1)
+    assert np.allclose(a.max_temps_c(), b.max_temps_c())

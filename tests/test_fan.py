@@ -1,0 +1,84 @@
+"""Fan model: the Odroid threshold controller of Section 6.2."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.fan import Fan, FanSpeed, FanThresholds
+from repro.platform.specs import FAN_CONDUCTANCE_GAIN, FAN_POWER_W
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture()
+def fan():
+    return Fan(FAN_POWER_W, FAN_CONDUCTANCE_GAIN)
+
+
+def test_paper_thresholds_default():
+    th = FanThresholds()
+    assert th.on_c == 57.0
+    assert th.mid_c == 63.0
+    assert th.high_c == 68.0
+
+
+def test_fan_off_below_first_threshold(fan):
+    assert fan.update(c2k(50.0)) is FanSpeed.OFF
+    assert fan.power_w == 0.0
+    assert fan.conductance_gain == 1.0
+
+
+def test_fan_engages_at_57(fan):
+    assert fan.update(c2k(57.5)) is FanSpeed.LOW
+    assert fan.power_w == FAN_POWER_W[1]
+
+
+def test_fan_speed_escalation(fan):
+    fan.update(c2k(58.0))
+    assert fan.speed is FanSpeed.LOW
+    fan.update(c2k(63.5))
+    assert fan.speed is FanSpeed.MID
+    fan.update(c2k(68.5))
+    assert fan.speed is FanSpeed.HIGH
+    assert fan.conductance_gain == FAN_CONDUCTANCE_GAIN[3]
+
+
+def test_fan_jumps_straight_to_high(fan):
+    assert fan.update(c2k(70.0)) is FanSpeed.HIGH
+
+
+def test_fan_steps_down_with_hysteresis(fan):
+    fan.update(c2k(64.0))
+    assert fan.speed is FanSpeed.MID
+    # still above (63 - hysteresis): must hold MID
+    fan.update(c2k(59.0))
+    assert fan.speed is FanSpeed.MID
+    # below the release point: one step down at a time
+    release = 63.0 - fan.thresholds.hysteresis_c - 0.1
+    fan.update(c2k(release))
+    assert fan.speed is FanSpeed.LOW
+
+
+def test_fan_steps_down_one_speed_per_update(fan):
+    fan.update(c2k(70.0))
+    assert fan.speed is FanSpeed.HIGH
+    fan.update(c2k(30.0))
+    assert fan.speed is FanSpeed.MID
+    fan.update(c2k(30.0))
+    assert fan.speed is FanSpeed.LOW
+    fan.update(c2k(30.0))
+    assert fan.speed is FanSpeed.OFF
+
+
+def test_disabled_fan_never_spins(fan):
+    fan.force_off()
+    assert fan.update(c2k(80.0)) is FanSpeed.OFF
+    assert fan.power_w == 0.0
+
+
+def test_thresholds_must_increase():
+    with pytest.raises(ConfigurationError):
+        FanThresholds(on_c=63.0, mid_c=57.0)
+
+
+def test_fan_requires_four_speed_entries():
+    with pytest.raises(ConfigurationError):
+        Fan((0.0, 0.1), (1.0, 1.5))

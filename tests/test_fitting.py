@@ -1,0 +1,74 @@
+"""Nonlinear leakage fit (the furnace's estimator)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.power.fitting import fit_leakage, linear_fit
+from repro.units import celsius_to_kelvin as c2k
+
+
+def _synth_total_power(temps_k, c1, c2, i_gate, p_dyn, vdd):
+    return [
+        vdd * (c1 * t ** 2 * math.exp(c2 / t) + i_gate) + p_dyn for t in temps_k
+    ]
+
+
+def test_fit_recovers_leakage_curve():
+    temps = [c2k(t) for t in (40, 50, 60, 70, 80)]
+    vdd = 0.92
+    true = dict(c1=7.7e-3, c2=-2900.0, i_gate=0.010, p_dyn=0.35)
+    powers = _synth_total_power(temps, true["c1"], true["c2"], true["i_gate"], true["p_dyn"], vdd)
+    fit = fit_leakage(temps, powers, vdd)
+    # The gate current is confounded with the constant dynamic power, so
+    # only the temperature-dependent component and the *total* constant are
+    # identifiable from a furnace sweep.
+    for t in temps:
+        truth_var = true["c1"] * t ** 2 * math.exp(true["c2"] / t)
+        assert fit.c1 * t ** 2 * math.exp(fit.c2 / t) == pytest.approx(
+            truth_var, rel=0.10
+        )
+    assert fit.i_gate == 0.0
+    assert fit.p_dynamic_w == pytest.approx(
+        true["p_dyn"] + vdd * true["i_gate"], abs=0.03
+    )
+    assert fit.residual_rms_w < 1e-3
+
+
+def test_fit_tolerates_measurement_noise():
+    rng = np.random.default_rng(0)
+    temps = [c2k(t) for t in np.linspace(40, 80, 9)]
+    vdd = 0.92
+    powers = np.array(
+        _synth_total_power(temps, 7.7e-3, -2900.0, 0.010, 0.35, vdd)
+    )
+    powers *= 1.0 + rng.normal(0.0, 0.005, size=powers.shape)
+    fit = fit_leakage(temps, powers, vdd)
+    for t in (temps[0], temps[-1]):
+        truth_var = 7.7e-3 * t ** 2 * math.exp(-2900.0 / t)
+        assert fit.c1 * t ** 2 * math.exp(fit.c2 / t) == pytest.approx(
+            truth_var, rel=0.20
+        )
+
+
+def test_fit_requires_enough_points():
+    with pytest.raises(ModelError):
+        fit_leakage([c2k(40), c2k(50)], [0.4, 0.5], 0.92)
+
+
+def test_fit_rejects_bad_inputs():
+    temps = [c2k(t) for t in (40, 50, 60, 70, 80)]
+    with pytest.raises(ModelError):
+        fit_leakage(temps, [0.4] * 5, -1.0)
+    with pytest.raises(ModelError):
+        fit_leakage([-1.0] * 5, [0.4] * 5, 0.92)
+
+
+def test_linear_fit():
+    slope, intercept = linear_fit([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    with pytest.raises(ModelError):
+        linear_fit([1.0], [1.0])

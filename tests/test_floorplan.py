@@ -1,0 +1,84 @@
+"""The Exynos-like ground-truth floorplan network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal import floorplan
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture()
+def network():
+    return floorplan.build_exynos_network(c2k(25.0))
+
+
+def test_network_has_expected_nodes(network):
+    for name in floorplan.BIG_CORE_NODES + (
+        floorplan.LITTLE_NODE,
+        floorplan.GPU_NODE,
+        floorplan.MEM_NODE,
+        floorplan.CASE_NODE,
+        floorplan.BOARD_NODE,
+    ):
+        assert network.index(name) >= 0
+    assert network.num_nodes == 9
+
+
+def test_constants_override(network):
+    net2 = floorplan.build_exynos_network(
+        c2k(25.0), {"g_case_ambient": 0.10}
+    )
+    ss1 = net2.steady_state_k(
+        floorplan.node_powers(net2, [0.5] * 4, 0.1, 0.1, 0.1)
+    )
+    ss0 = network.steady_state_k(
+        floorplan.node_powers(network, [0.5] * 4, 0.1, 0.1, 0.1)
+    )
+    assert ss1.max() < ss0.max()  # better cooling -> cooler
+
+
+def test_unknown_constant_rejected():
+    with pytest.raises(ConfigurationError):
+        floorplan.build_exynos_network(c2k(25.0), {"bogus": 1.0})
+
+
+def test_node_powers_layout(network):
+    vec = floorplan.node_powers(network, [0.1, 0.2, 0.3, 0.4], 0.5, 0.6, 0.7)
+    assert vec[network.index("big2")] == pytest.approx(0.3)
+    assert vec[network.index(floorplan.GPU_NODE)] == pytest.approx(0.6)
+    assert vec[network.index(floorplan.CASE_NODE)] == 0.0
+    assert vec[network.index(floorplan.BOARD_NODE)] == 0.0
+
+
+def test_node_powers_validates_core_count(network):
+    with pytest.raises(ConfigurationError):
+        floorplan.node_powers(network, [0.1, 0.2], 0.0, 0.0, 0.0)
+
+
+def test_loaded_core_is_the_hotspot(network):
+    vec = floorplan.node_powers(network, [1.0, 0.2, 0.2, 0.2], 0.05, 0.1, 0.2)
+    ss = network.steady_state_k(vec)
+    hots = [ss[network.index(n)] for n in floorplan.BIG_CORE_NODES]
+    assert np.argmax(hots) == 0
+    assert hots[0] - min(hots) > 1.0  # visible inter-core spread
+
+
+def test_full_load_exceeds_constraint_without_fan(network):
+    """Fig. 1.1's premise: passive cooling cannot hold a loaded big cluster."""
+    vec = floorplan.node_powers(network, [0.8] * 4, 0.05, 0.2, 0.3)
+    ss = network.steady_state_k(vec)
+    hotspots = floorplan.hotspot_temperatures_k(network)  # current (ambient)
+    assert ss.max() - 273.15 > 68.0
+
+
+def test_resource_temperatures_keys(network):
+    temps = floorplan.resource_temperatures_k(network)
+    assert set(temps) == {"big", "little", "gpu", "mem", "case", "board"}
+
+
+def test_core_time_constant_seconds(network):
+    taus = network.dominant_time_constants_s()
+    # slow board pole (hundreds of s) and fast core poles (seconds)
+    assert taus[0] > 100.0
+    assert taus[-1] < 10.0

@@ -1,0 +1,78 @@
+"""Synthetic workload generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import synthesize
+from repro.workloads.multithreaded import fft_mt, lu_mt, matrix_mult_mt
+from repro.workloads.trace import CATEGORY_HIGH, CATEGORY_LOW, CATEGORY_MEDIUM
+
+
+def test_synthesis_is_deterministic():
+    a = synthesize("medium", 60.0, seed=7)
+    b = synthesize("medium", 60.0, seed=7)
+    assert a.activity == b.activity
+    assert a.threads == b.threads
+    assert [p.duration_s for p in a.phases] == [p.duration_s for p in b.phases]
+
+
+def test_different_seeds_differ():
+    a = synthesize("medium", 60.0, seed=1)
+    b = synthesize("medium", 60.0, seed=2)
+    assert (a.activity, a.background_util) != (b.activity, b.background_util)
+
+
+def test_categories_order_by_activity():
+    low = synthesize(CATEGORY_LOW, 60.0, seed=3)
+    high = synthesize(CATEGORY_HIGH, 60.0, seed=3)
+    assert low.activity < high.activity
+
+
+def test_duration_sizing():
+    trace = synthesize("high", 90.0, threads=2, seed=5)
+    assert trace.nominal_duration_s() == pytest.approx(90.0)
+
+
+def test_gpu_demand_passthrough():
+    trace = synthesize("high", 60.0, gpu_demand=0.7, seed=1)
+    assert trace.gpu_demand == 0.7
+    assert trace.uses_gpu
+
+
+def test_phases_optional():
+    trace = synthesize("low", 60.0, num_phases=0, seed=1)
+    assert trace.phases == ()
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        synthesize("nope", 60.0)
+    with pytest.raises(WorkloadError):
+        synthesize("low", -5.0)
+    with pytest.raises(WorkloadError):
+        synthesize("low", 60.0, threads=0)
+
+
+# -- multithreaded builders (Fig. 6.10 workloads) ------------------------------
+def test_fft_mt_shape():
+    trace = fft_mt(threads=4, duration_s=90.0)
+    assert trace.threads == 4
+    assert trace.category == CATEGORY_HIGH
+    assert trace.nominal_duration_s() == pytest.approx(90.0)
+
+
+def test_lu_mt_shape():
+    trace = lu_mt(threads=2)
+    assert trace.threads == 2
+    assert trace.phases  # has barrier phases
+
+
+def test_matrix_mult_mt_names_by_threads():
+    assert matrix_mult_mt(threads=2).name == "matrix_mult_mt2"
+
+
+def test_multithreaded_validation():
+    with pytest.raises(WorkloadError):
+        fft_mt(threads=5)
+    with pytest.raises(WorkloadError):
+        lu_mt(duration_s=0.0)

@@ -1,0 +1,155 @@
+"""Frequency governors: ondemand, interactive, trivial governors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.governors.base import LoadSample, PlatformConfig
+from repro.governors.interactive import InteractiveGovernor
+from repro.governors.ondemand import OndemandGovernor
+from repro.governors.performance import (
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+)
+from repro.platform.specs import BIG_OPP_TABLE, Resource
+from repro.units import mhz
+
+
+def _sample(load, freq=mhz(800), per_core=None):
+    utils = per_core if per_core is not None else (load,)
+    return LoadSample(core_utilisations=utils, current_freq_hz=freq, time_s=0.0)
+
+
+# -- ondemand -----------------------------------------------------------------
+def test_ondemand_jumps_to_max_above_threshold():
+    gov = OndemandGovernor(BIG_OPP_TABLE, up_threshold=0.8)
+    assert gov.propose(_sample(0.95)) == BIG_OPP_TABLE.f_max_hz
+
+
+def test_ondemand_uses_busiest_core():
+    gov = OndemandGovernor(BIG_OPP_TABLE)
+    sample = _sample(0.0, per_core=(0.1, 0.95, 0.2, 0.1))
+    assert gov.propose(sample) == BIG_OPP_TABLE.f_max_hz
+
+
+def test_ondemand_scales_down_after_sampling_down_factor():
+    gov = OndemandGovernor(BIG_OPP_TABLE, sampling_down_factor=3)
+    sample = _sample(0.3, freq=mhz(1600))
+    assert gov.propose(sample) == mhz(1600)  # 1st below-threshold sample
+    assert gov.propose(sample) == mhz(1600)  # 2nd
+    down = gov.propose(sample)  # 3rd: allowed to drop
+    assert down < mhz(1600)
+    # proportional target: f * load / up_threshold, quantised up
+    assert down == BIG_OPP_TABLE.ceil(mhz(1600) * 0.3 / 0.8)
+
+
+def test_ondemand_burst_resets_down_counter():
+    gov = OndemandGovernor(BIG_OPP_TABLE, sampling_down_factor=2)
+    low = _sample(0.3, freq=mhz(1600))
+    gov.propose(low)
+    gov.propose(_sample(0.95, freq=mhz(1600)))  # burst
+    assert gov.propose(low) == mhz(1600)  # counter restarted
+
+
+def test_ondemand_reset():
+    gov = OndemandGovernor(BIG_OPP_TABLE, sampling_down_factor=2)
+    gov.propose(_sample(0.3, freq=mhz(1600)))
+    gov.reset()
+    assert gov._below_count == 0
+
+
+def test_ondemand_validation():
+    with pytest.raises(ConfigurationError):
+        OndemandGovernor(BIG_OPP_TABLE, up_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        OndemandGovernor(BIG_OPP_TABLE, sampling_down_factor=0)
+
+
+# -- interactive ----------------------------------------------------------------
+def test_interactive_goes_hispeed_first():
+    gov = InteractiveGovernor(BIG_OPP_TABLE, hispeed_freq_hz=mhz(1400))
+    f = gov.propose(_sample(1.0, freq=mhz(800)))
+    assert f == mhz(1400)  # not straight to max
+
+
+def test_interactive_climbs_to_max_after_delay():
+    gov = InteractiveGovernor(
+        BIG_OPP_TABLE, hispeed_freq_hz=mhz(1400), above_hispeed_delay=2
+    )
+    gov.propose(_sample(1.0, freq=mhz(800)))
+    f = gov.propose(_sample(1.0, freq=mhz(1400)))
+    assert f == mhz(1400)  # holding
+    f = gov.propose(_sample(1.0, freq=mhz(1400)))
+    f = gov.propose(_sample(1.0, freq=mhz(1400)))
+    assert f == BIG_OPP_TABLE.f_max_hz
+
+
+def test_interactive_moderate_load_targets_load():
+    gov = InteractiveGovernor(BIG_OPP_TABLE, target_load=0.9)
+    f = gov.propose(_sample(0.5, freq=mhz(1600)))
+    assert f == BIG_OPP_TABLE.ceil(mhz(1600) * 0.5 / 0.9)
+
+
+def test_interactive_validation():
+    with pytest.raises(ConfigurationError):
+        InteractiveGovernor(BIG_OPP_TABLE, target_load=1.5)
+
+
+# -- trivial governors ---------------------------------------------------------
+def test_performance_and_powersave():
+    assert PerformanceGovernor(BIG_OPP_TABLE).propose(_sample(0.0)) == mhz(1600)
+    assert PowersaveGovernor(BIG_OPP_TABLE).propose(_sample(1.0)) == mhz(800)
+
+
+def test_userspace_pins_frequency():
+    gov = UserspaceGovernor(BIG_OPP_TABLE, mhz(1200))
+    assert gov.propose(_sample(1.0)) == mhz(1200)
+    gov.set_frequency(mhz(900))
+    assert gov.propose(_sample(0.0)) == mhz(900)
+
+
+# -- PlatformConfig --------------------------------------------------------------
+def test_platform_config_accessors():
+    cfg = PlatformConfig(
+        cluster=Resource.BIG,
+        big_freq_hz=mhz(1600),
+        little_freq_hz=mhz(600),
+        gpu_freq_hz=mhz(177),
+        big_online=3,
+        little_online=4,
+    )
+    assert cfg.active_freq_hz == mhz(1600)
+    assert cfg.active_online == 3
+    little = cfg.with_(cluster=Resource.LITTLE)
+    assert little.active_freq_hz == mhz(600)
+    assert little.active_online == 4
+
+
+def test_platform_config_validation():
+    with pytest.raises(ConfigurationError):
+        PlatformConfig(
+            cluster=Resource.GPU,
+            big_freq_hz=mhz(1600),
+            little_freq_hz=mhz(600),
+            gpu_freq_hz=mhz(177),
+            big_online=4,
+            little_online=4,
+        )
+    with pytest.raises(ConfigurationError):
+        PlatformConfig(
+            cluster=Resource.BIG,
+            big_freq_hz=mhz(1600),
+            little_freq_hz=mhz(600),
+            gpu_freq_hz=mhz(177),
+            big_online=0,
+            little_online=4,
+        )
+
+
+def test_load_sample_statistics():
+    sample = LoadSample((0.2, 0.8, 0.5), mhz(1000), 1.0)
+    assert sample.max_utilisation == pytest.approx(0.8)
+    assert sample.mean_utilisation == pytest.approx(0.5)
+    empty = LoadSample((), mhz(1000), 1.0)
+    assert empty.max_utilisation == 0.0
+    assert empty.mean_utilisation == 0.0

@@ -1,0 +1,86 @@
+"""GPU and memory device models."""
+
+import pytest
+
+from repro.platform.gpu import GpuDevice
+from repro.platform.memory import MemoryDevice
+from repro.platform.specs import (
+    GPU_DEVICE_CAPACITANCE_F,
+    GPU_LEAKAGE,
+    GPU_OPP_TABLE,
+    MEM_DYNAMIC_FULL_TRAFFIC_W,
+    MEM_LEAKAGE,
+    MEM_VDD,
+)
+from repro.units import celsius_to_kelvin, mhz
+
+
+@pytest.fixture()
+def gpu():
+    return GpuDevice(GPU_OPP_TABLE, GPU_DEVICE_CAPACITANCE_F, GPU_LEAKAGE)
+
+
+@pytest.fixture()
+def mem():
+    return MemoryDevice(MEM_DYNAMIC_FULL_TRAFFIC_W, MEM_VDD, MEM_LEAKAGE)
+
+
+def test_gpu_starts_at_min_frequency(gpu):
+    assert gpu.frequency_hz == mhz(177)
+
+
+def test_gpu_frequency_setting(gpu):
+    gpu.set_frequency(mhz(480))
+    assert gpu.frequency_hz == mhz(480)
+    assert gpu.request_frequency(mhz(500)) == mhz(480)
+
+
+def test_gpu_power_zero_dynamic_when_idle(gpu):
+    gpu.set_utilisation(0.0)
+    p = gpu.power(celsius_to_kelvin(50))
+    assert p.dynamic_w == 0.0
+    assert p.leakage_w > 0.0  # clock-gated, not power-gated
+
+
+def test_gpu_dynamic_power_scales_with_utilisation(gpu):
+    gpu.set_frequency(mhz(533))
+    gpu.set_utilisation(0.5)
+    p_half = gpu.power(celsius_to_kelvin(50))
+    gpu.set_utilisation(1.0)
+    p_full = gpu.power(celsius_to_kelvin(50))
+    assert p_full.dynamic_w == pytest.approx(2.0 * p_half.dynamic_w)
+
+
+def test_gpu_utilisation_clamped(gpu):
+    gpu.set_utilisation(1.5)
+    assert gpu.utilisation == 1.0
+    gpu.set_utilisation(-0.5)
+    assert gpu.utilisation == 0.0
+
+
+def test_gpu_full_speed_power_magnitude(gpu):
+    # games drive the GPU around 1-2 W on this class of part
+    gpu.set_frequency(mhz(533))
+    gpu.set_utilisation(1.0)
+    p = gpu.power(celsius_to_kelvin(60))
+    assert 0.8 < p.total_w < 2.5
+
+
+def test_memory_power_tracks_traffic(mem):
+    mem.set_traffic(0.0)
+    p0 = mem.power(celsius_to_kelvin(50))
+    mem.set_traffic(1.0)
+    p1 = mem.power(celsius_to_kelvin(50))
+    assert p0.dynamic_w == 0.0
+    assert p1.dynamic_w == pytest.approx(MEM_DYNAMIC_FULL_TRAFFIC_W)
+
+
+def test_memory_traffic_clamped(mem):
+    mem.set_traffic(2.0)
+    assert mem.traffic == 1.0
+
+
+def test_memory_leakage_grows_with_temperature(mem):
+    p_cool = mem.power(celsius_to_kelvin(40))
+    p_hot = mem.power(celsius_to_kelvin(80))
+    assert p_hot.leakage_w > p_cool.leakage_w

@@ -1,0 +1,60 @@
+"""Idle (hotplug) governor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.governors.idle import IdleGovernor
+
+
+def test_saturated_cores_bring_one_up():
+    gov = IdleGovernor(up_threshold=0.85)
+    assert gov.propose((0.95, 0.9, 0.0, 0.0), online=2) == 3
+
+
+def test_no_growth_beyond_max():
+    gov = IdleGovernor(max_cores=4)
+    assert gov.propose((1.0, 1.0, 1.0, 1.0), online=4) == 4
+
+
+def test_light_load_takes_core_down_after_delay():
+    gov = IdleGovernor(down_threshold=0.35, down_delay_samples=3)
+    sample = (0.05, 0.05, 0.05, 0.05)
+    assert gov.propose(sample, online=4) == 4
+    assert gov.propose(sample, online=4) == 4
+    assert gov.propose(sample, online=4) == 3  # third consecutive quiet sample
+
+
+def test_moderate_load_holds_core_count():
+    gov = IdleGovernor()
+    for _ in range(30):
+        assert gov.propose((0.6, 0.6, 0.6, 0.6), online=4) == 4
+
+
+def test_busy_interval_resets_down_delay():
+    gov = IdleGovernor(down_delay_samples=2)
+    quiet = (0.05, 0.05, 0.05, 0.05)
+    gov.propose(quiet, online=4)
+    gov.propose((0.9, 0.9, 0.9, 0.9), online=4)  # busy resets
+    assert gov.propose(quiet, online=4) == 4
+
+
+def test_never_below_one_core():
+    gov = IdleGovernor(down_delay_samples=1)
+    assert gov.propose((0.0,), online=1) == 1
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        IdleGovernor(max_cores=0)
+    with pytest.raises(ConfigurationError):
+        IdleGovernor(up_threshold=0.3, down_threshold=0.5)
+    gov = IdleGovernor()
+    with pytest.raises(ConfigurationError):
+        gov.propose((1.0,), online=9)
+
+
+def test_reset():
+    gov = IdleGovernor(down_delay_samples=5)
+    gov.propose((0.01,) * 4, online=4)
+    gov.reset()
+    assert gov._down_count == 0

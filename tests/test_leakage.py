@@ -1,0 +1,56 @@
+"""Controller-side leakage model (Eq. 4.2)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.power.fitting import LeakageFit
+from repro.power.leakage import LeakageModel
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture()
+def model():
+    return LeakageModel(c1=7.7e-3, c2=-2900.0, i_gate=0.010)
+
+
+def test_power_monotone_in_temperature(model):
+    powers = [model.power_w(c2k(t), 1.0) for t in range(30, 95, 5)]
+    assert all(b > a for a, b in zip(powers, powers[1:]))
+
+
+def test_power_linear_in_vdd(model):
+    t = c2k(60)
+    assert model.power_w(t, 1.2) == pytest.approx(2.0 * model.power_w(t, 0.6))
+
+
+def test_celsius_convenience(model):
+    assert model.power_at_celsius(60.0, 1.0) == pytest.approx(
+        model.power_w(c2k(60.0), 1.0)
+    )
+
+
+def test_gate_leakage_floor():
+    pure_gate = LeakageModel(c1=0.0, c2=-2900.0, i_gate=0.02)
+    assert pure_gate.power_w(c2k(40), 1.0) == pytest.approx(0.02)
+    assert pure_gate.power_w(c2k(80), 1.0) == pytest.approx(0.02)
+
+
+def test_from_fit():
+    fit = LeakageFit(c1=1e-3, c2=-2500.0, i_gate=0.005, p_dynamic_w=0.1, residual_rms_w=0.001)
+    model = LeakageModel.from_fit(fit)
+    assert model.c1 == fit.c1
+    assert model.current_a(c2k(50)) == pytest.approx(fit.leakage_current(c2k(50)))
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ModelError):
+        LeakageModel(c1=-1.0, c2=-2900.0, i_gate=0.0)
+    with pytest.raises(ModelError):
+        LeakageModel(c1=1e-3, c2=100.0, i_gate=0.0)  # c2 must be negative
+
+
+def test_rejects_bad_inputs(model):
+    with pytest.raises(ModelError):
+        model.power_w(-10.0, 1.0)
+    with pytest.raises(ModelError):
+        model.power_w(c2k(50), 0.0)

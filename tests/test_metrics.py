@@ -1,0 +1,97 @@
+"""Cross-run comparison metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import (
+    ComparisonRow,
+    overall_summary,
+    performance_loss_pct,
+    power_savings_pct,
+    summarize_categories,
+    variance_reduction_factor,
+)
+from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
+
+
+def _result(power_w, time_s, temps=None):
+    rec = TraceRecorder(RUN_COLUMNS)
+    temps = temps if temps is not None else [60.0] * 100
+    for i, t in enumerate(temps):
+        row = {c: 0.0 for c in RUN_COLUMNS}
+        row["time_s"] = (i + 1) * 0.1
+        row["max_temp_c"] = t
+        rec.append(**row)
+    return RunResult(
+        benchmark="x",
+        mode="m",
+        completed=True,
+        execution_time_s=time_s,
+        average_platform_power_w=power_w,
+        energy_j=power_w * time_s,
+        trace=rec,
+    )
+
+
+def test_power_savings_sign_and_magnitude():
+    base = _result(5.0, 100.0)
+    better = _result(4.5, 100.0)
+    assert power_savings_pct(base, better) == pytest.approx(10.0)
+    assert power_savings_pct(better, base) == pytest.approx(-100 * 0.5 / 4.5)
+
+
+def test_performance_loss():
+    base = _result(5.0, 100.0)
+    slower = _result(5.0, 105.0)
+    assert performance_loss_pct(base, slower) == pytest.approx(5.0)
+
+
+def test_variance_reduction():
+    rng = np.random.default_rng(0)
+    noisy = _result(5.0, 100.0, temps=list(60 + 3 * rng.standard_normal(400)))
+    flat = _result(5.0, 100.0, temps=list(60 + 0.5 * rng.standard_normal(400)))
+    factor = variance_reduction_factor(noisy, flat, skip_s=1.0)
+    assert factor > 10.0
+
+
+def test_zero_baseline_rejected():
+    with pytest.raises(SimulationError):
+        power_savings_pct(_result(0.0, 10.0), _result(1.0, 10.0))
+    with pytest.raises(SimulationError):
+        performance_loss_pct(_result(1.0, 0.0), _result(1.0, 10.0))
+
+
+def _row(bench, cat, sav, loss):
+    return ComparisonRow(
+        benchmark=bench,
+        category=cat,
+        power_savings_pct=sav,
+        performance_loss_pct=loss,
+        baseline_power_w=5.0,
+        dtpm_power_w=5.0 * (1 - sav / 100),
+        baseline_time_s=100.0,
+        dtpm_time_s=100.0 * (1 + loss / 100),
+    )
+
+
+def test_category_summary():
+    rows = [
+        _row("a", "low", 2.0, 0.0),
+        _row("b", "low", 4.0, 1.0),
+        _row("c", "high", 14.0, 5.0),
+    ]
+    summary = summarize_categories(rows)
+    assert summary["low"]["power_savings_pct"] == pytest.approx(3.0)
+    assert summary["low"]["count"] == 2
+    assert summary["high"]["performance_loss_pct"] == pytest.approx(5.0)
+
+
+def test_overall_summary():
+    rows = [_row("a", "low", 2.0, 0.5), _row("b", "high", 14.0, 5.0)]
+    summary = overall_summary(rows)
+    assert summary["power_savings_pct"] == pytest.approx(8.0)
+    assert summary["max_power_savings_pct"] == pytest.approx(14.0)
+    assert summary["max_performance_loss_pct"] == pytest.approx(5.0)
+    with pytest.raises(SimulationError):
+        overall_summary([])

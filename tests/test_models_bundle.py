@@ -1,0 +1,53 @@
+"""Model-bundle construction (the Chapter-4 pipeline end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.specs import Resource
+from repro.sim.models import build_models, default_models
+
+
+def test_default_models_cached():
+    a = default_models()
+    b = default_models()
+    assert a is b
+
+
+def test_bundle_contents(models):
+    assert models.thermal.num_states == 4
+    assert models.thermal.num_inputs == 4
+    assert models.thermal.is_stable()
+    for resource in Resource:
+        assert models.power[resource] is not None
+
+
+def test_identification_method_selection():
+    joint = build_models(prbs_duration_s=300.0, method="joint")
+    staged = build_models(prbs_duration_s=300.0, method="staged")
+    structured = build_models(prbs_duration_s=300.0, method="structured")
+    for bundle in (joint, staged, structured):
+        assert bundle.thermal.is_stable()
+    # the structured estimator retains the spread mode the others lose
+    def spread_retention(model):
+        t = np.array([340.0, 330.0, 330.0, 330.0])
+        pred = model.predict_n_constant(t, np.full(4, 0.5), 10)
+        return pred[0] - pred[1:].max()
+
+    assert spread_retention(structured.thermal) > spread_retention(joint.thermal)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ConfigurationError):
+        build_models(prbs_duration_s=300.0, method="magic")
+
+
+def test_furnace_backed_build():
+    bundle = build_models(prbs_duration_s=300.0, run_furnace=True)
+    assert bundle.thermal.is_stable()
+    # furnace-fitted big leakage close to the cached default fit
+    cached = default_models()
+    t, vdd = 330.0, 1.0
+    assert bundle.power[Resource.BIG].leakage.power_w(t, vdd) == pytest.approx(
+        cached.power[Resource.BIG].leakage.power_w(t, vdd), rel=0.2
+    )

@@ -1,0 +1,112 @@
+"""Temperature observer (steady-state Kalman filter on the thermal model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.thermal.observer import TemperatureObserver
+from repro.thermal.state_space import DiscreteThermalModel
+
+
+@pytest.fixture()
+def model():
+    a = 0.9 * np.eye(4) + 0.01 * np.ones((4, 4))
+    b = 0.2 * np.eye(4) + 0.05
+    return DiscreteThermalModel(a=a, b=b, offset=np.full(4, 18.0), ts_s=0.1)
+
+
+def _rollout(model, rng, steps=400, noise=0.3):
+    t = np.full(4, 320.0)
+    truth, measured, powers = [], [], []
+    p = np.array([1.0, 0.2, 0.3, 0.2])
+    for k in range(steps):
+        if k % 60 == 0:
+            p = rng.uniform(0.0, 2.0, size=4)
+        truth.append(t.copy())
+        measured.append(t + rng.normal(0, noise, 4))
+        powers.append(p.copy())
+        t = model.predict_next(t, p)
+    return np.stack(truth), np.stack(measured), np.stack(powers)
+
+
+def test_filter_reduces_measurement_error(model, rng):
+    truth, measured, powers = _rollout(model, rng)
+    observer = TemperatureObserver(
+        model, process_noise_k=0.05, measurement_noise_k=0.3
+    )
+    filtered = np.stack(
+        [observer.update(measured[k], powers[k]) for k in range(len(measured))]
+    )
+    raw_err = np.abs(measured[50:] - truth[50:]).mean()
+    flt_err = np.abs(filtered[50:] - truth[50:]).mean()
+    assert flt_err < 0.7 * raw_err
+
+
+def test_first_update_initialises_to_measurement(model, rng):
+    observer = TemperatureObserver(model)
+    y = np.full(4, 330.0)
+    out = observer.update(y, np.zeros(4))
+    assert np.allclose(out, y)
+    assert observer.state_k is not None
+
+
+def test_reset(model, rng):
+    observer = TemperatureObserver(model)
+    observer.update(np.full(4, 330.0), np.zeros(4))
+    observer.reset()
+    assert observer.state_k is None
+    assert observer.innovation_k(np.full(4, 330.0)) is None
+
+
+def test_innovation_shrinks_as_filter_locks(model, rng):
+    truth, measured, powers = _rollout(model, rng, steps=200, noise=0.2)
+    observer = TemperatureObserver(
+        model, process_noise_k=0.05, measurement_noise_k=0.2
+    )
+    innovations = []
+    for k in range(len(measured)):
+        if k > 0:
+            inn = observer.innovation_k(measured[k])
+            innovations.append(float(np.abs(inn).mean()))
+        observer.update(measured[k], powers[k])
+    # innovations are bounded by roughly the sensor noise scale
+    assert np.mean(innovations[20:]) < 0.5
+
+
+def test_gain_shape_and_range(model):
+    observer = TemperatureObserver(model)
+    gain = observer.gain
+    assert gain.shape == (4, 4)
+    eigs = np.linalg.eigvals(gain)
+    assert np.all(np.real(eigs) > 0)
+    assert np.all(np.abs(eigs) <= 1.0 + 1e-9)
+
+
+def test_strong_process_noise_trusts_measurements(model):
+    trusting = TemperatureObserver(
+        model, process_noise_k=5.0, measurement_noise_k=0.1
+    )
+    sceptical = TemperatureObserver(
+        model, process_noise_k=0.01, measurement_noise_k=1.0
+    )
+    assert np.trace(trusting.gain) > np.trace(sceptical.gain)
+
+
+def test_input_validation(model):
+    with pytest.raises(ModelError):
+        TemperatureObserver(model, process_noise_k=0.0)
+    observer = TemperatureObserver(model)
+    with pytest.raises(ModelError):
+        observer.update(np.zeros(2), np.zeros(4))
+    with pytest.raises(ModelError):
+        observer.update(np.full(4, 300.0), np.zeros(2))
+
+
+def test_filter_on_identified_model(models, rng):
+    """Works with the real identified model, not just synthetic fixtures."""
+    observer = TemperatureObserver(models.thermal)
+    y = np.full(4, 325.0)
+    p = np.array([1.5, 0.0, 0.2, 0.2])
+    for _ in range(20):
+        out = observer.update(y + rng.normal(0, 0.25, 4), p)
+    assert np.all(np.abs(out - y) < 1.5)

@@ -1,0 +1,35 @@
+"""Platform power meter accumulation."""
+
+import pytest
+
+from repro.platform.power_meter import PlatformPowerMeter
+
+
+def test_energy_accumulation(rng):
+    meter = PlatformPowerMeter(rng, relative_noise=0.0)
+    for _ in range(100):
+        meter.sample(2.0, 0.1)
+    assert meter.energy_j == pytest.approx(20.0)
+    assert meter.average_power_w == pytest.approx(2.0)
+    assert meter.last_reading_w == pytest.approx(2.0)
+
+
+def test_noisy_readings_average_out(rng):
+    meter = PlatformPowerMeter(rng, relative_noise=0.02)
+    for _ in range(5000):
+        meter.sample(3.0, 0.1)
+    assert meter.average_power_w == pytest.approx(3.0, rel=0.01)
+
+
+def test_reset(rng):
+    meter = PlatformPowerMeter(rng)
+    meter.sample(5.0, 1.0)
+    meter.reset()
+    assert meter.energy_j == 0.0
+    assert meter.average_power_w == 0.0
+    assert meter.last_reading_w == 0.0
+
+
+def test_zero_time_average(rng):
+    meter = PlatformPowerMeter(rng)
+    assert meter.average_power_w == 0.0

@@ -1,0 +1,84 @@
+"""PRBS generation (Section 4.2.1's excitation signals)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.prbs import PrbsSignal, balance, prbs_bits, prbs_levels
+
+
+@pytest.mark.parametrize("order", [4, 5, 6, 7, 8, 9, 10, 11])
+def test_maximal_length_period(order):
+    bits = prbs_bits(order)
+    n = 2 ** order - 1
+    assert bits.size == n
+    # every non-zero length-`order` window appears exactly once
+    ext = np.concatenate([bits, bits[:order]])
+    windows = {tuple(ext[i : i + order]) for i in range(n)}
+    assert len(windows) == n
+
+
+@pytest.mark.parametrize("order", [5, 7, 9])
+def test_balance_property(order):
+    bits = prbs_bits(order)
+    ones = int(bits.sum())
+    assert ones == 2 ** (order - 1)  # maximal-length: one extra '1'
+
+
+def test_levels_are_plus_minus_one():
+    levels = prbs_levels(6)
+    assert set(np.unique(levels)) == {-1, 1}
+
+
+def test_seed_changes_phase_not_content():
+    a = prbs_bits(7, seed=1)
+    b = prbs_bits(7, seed=5)
+    assert not np.array_equal(a, b)
+    # same m-sequence: some cyclic shift matches
+    doubled = np.concatenate([a, a])
+    assert any(
+        np.array_equal(doubled[s : s + a.size], b) for s in range(a.size)
+    )
+
+
+def test_zero_seed_coerced():
+    assert prbs_bits(5, length=10, seed=0).size == 10
+
+
+def test_unsupported_order_rejected():
+    with pytest.raises(ConfigurationError):
+        prbs_bits(3)
+    with pytest.raises(ConfigurationError):
+        prbs_bits(5, length=0)
+
+
+def test_signal_holds_chip_value():
+    sig = PrbsSignal(0.0, 1.0, chip_s=2.0, order=5)
+    assert sig.value_at(0.0) == sig.value_at(1.9)
+
+
+def test_signal_levels_are_endpoints():
+    sig = PrbsSignal(8e8, 1.6e9, chip_s=1.0, order=6)
+    values = {sig.value_at(t * 0.5) for t in range(100)}
+    assert values <= {8e8, 1.6e9}
+    assert len(values) == 2
+
+
+def test_signal_sample_grid():
+    sig = PrbsSignal(0.0, 1.0, chip_s=1.0, order=5)
+    samples = sig.sample(10.0, 0.1)
+    assert samples.shape == (100,)
+    assert 0.2 < samples.mean() < 0.8  # both levels present
+
+
+def test_signal_validation():
+    with pytest.raises(ConfigurationError):
+        PrbsSignal(1.0, 0.5, chip_s=1.0)
+    with pytest.raises(ConfigurationError):
+        PrbsSignal(0.0, 1.0, chip_s=0.0)
+
+
+def test_balance_helper():
+    assert balance([0, 1, 1, 1]) == pytest.approx(0.75)
+    with pytest.raises(ConfigurationError):
+        balance([])

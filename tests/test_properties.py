@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import PowerBudgetComputer
+from repro.core.distribution import Component, solve_branch_and_bound, solve_greedy
+from repro.platform.specs import BIG_OPP_TABLE, Resource
+from repro.power.leakage import LeakageModel
+from repro.thermal.prbs import prbs_bits
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.units import celsius_to_kelvin as c2k
+
+# ---------------------------------------------------------------------------
+# OPP table quantisation
+# ---------------------------------------------------------------------------
+@given(st.floats(min_value=1e8, max_value=3e9, allow_nan=False))
+def test_opp_floor_ceil_bracket_request(freq):
+    lo = BIG_OPP_TABLE.floor(freq)
+    hi = BIG_OPP_TABLE.ceil(freq)
+    assert lo in BIG_OPP_TABLE.frequencies_hz
+    assert hi in BIG_OPP_TABLE.frequencies_hz
+    if BIG_OPP_TABLE.f_min_hz <= freq <= BIG_OPP_TABLE.f_max_hz:
+        assert lo <= freq + 0.5
+        assert hi + 0.5 >= freq
+        assert lo <= hi
+
+
+@given(st.sampled_from(BIG_OPP_TABLE.frequencies_hz))
+def test_opp_floor_is_idempotent_on_table(freq):
+    assert BIG_OPP_TABLE.floor(freq) == freq
+    assert BIG_OPP_TABLE.ceil(freq) == freq
+
+
+# ---------------------------------------------------------------------------
+# Leakage model
+# ---------------------------------------------------------------------------
+@given(
+    st.floats(min_value=280.0, max_value=400.0),
+    st.floats(min_value=281.0, max_value=401.0),
+    st.floats(min_value=0.5, max_value=1.5),
+)
+def test_leakage_monotone_in_temperature(t1, t2, vdd):
+    model = LeakageModel(c1=7.7e-3, c2=-2900.0, i_gate=0.01)
+    lo, hi = sorted((t1, t2))
+    if hi - lo > 1e-6:
+        assert model.power_w(hi, vdd) >= model.power_w(lo, vdd)
+
+
+@given(st.floats(min_value=280.0, max_value=400.0))
+def test_leakage_positive(t):
+    model = LeakageModel(c1=7.7e-3, c2=-2900.0, i_gate=0.01)
+    assert model.power_w(t, 1.0) > 0
+
+
+# ---------------------------------------------------------------------------
+# PRBS
+# ---------------------------------------------------------------------------
+@given(st.sampled_from([4, 5, 6, 7, 8, 9]), st.integers(min_value=1, max_value=10_000))
+def test_prbs_balance_over_full_period(order, seed):
+    bits = prbs_bits(order, seed=seed)
+    assert int(bits.sum()) == 2 ** (order - 1)
+
+
+@given(
+    st.sampled_from([5, 6, 7]),
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=50),
+)
+def test_prbs_prefix_consistency(order, seed, length):
+    full = prbs_bits(order, seed=seed)
+    prefix = prbs_bits(order, length=length, seed=seed)
+    assert np.array_equal(prefix, np.resize(full, length))
+
+
+# ---------------------------------------------------------------------------
+# State-space model linearity / superposition
+# ---------------------------------------------------------------------------
+_temps = st.lists(
+    st.floats(min_value=290.0, max_value=360.0), min_size=4, max_size=4
+)
+_powers = st.lists(
+    st.floats(min_value=0.0, max_value=4.0), min_size=4, max_size=4
+)
+
+
+def _model():
+    a = 0.9 * np.eye(4) + 0.01 * np.ones((4, 4))
+    b = 0.1 * np.ones((4, 4)) + 0.2 * np.eye(4)
+    return DiscreteThermalModel(a=a, b=b, offset=np.full(4, 10.0), ts_s=0.1)
+
+
+@given(_temps, _powers, _powers)
+@settings(max_examples=50)
+def test_prediction_superposition(temps, p1, p2):
+    """T(t, p1) - T(t, p2) depends only on (p1 - p2): affine in power."""
+    model = _model()
+    t = np.array(temps)
+    d1 = model.predict_n_constant(t, np.array(p1), 10)
+    d2 = model.predict_n_constant(t, np.array(p2), 10)
+    _, m_n, _ = model.horizon_matrices(10)
+    assert np.allclose(d1 - d2, m_n @ (np.array(p1) - np.array(p2)), atol=1e-8)
+
+
+@given(_temps, _powers)
+@settings(max_examples=50)
+def test_monotonicity_in_power(temps, powers):
+    """More power never predicts a lower temperature (non-negative B)."""
+    model = _model()
+    t = np.array(temps)
+    p = np.array(powers)
+    hotter = model.predict_n_constant(t, p + 0.5, 10)
+    cooler = model.predict_n_constant(t, p, 10)
+    assert np.all(hotter >= cooler - 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Budget algebra
+# ---------------------------------------------------------------------------
+@given(
+    st.floats(min_value=40.0, max_value=62.0),
+    st.floats(min_value=63.0, max_value=75.0),
+    _powers,
+)
+@settings(max_examples=50)
+def test_budget_monotone_in_tmax(temp_c, tmax_c, powers):
+    model = _model()
+    computer = PowerBudgetComputer(model, horizon_steps=10)
+    temps = np.full(4, c2k(temp_c))
+    p = np.array(powers)
+    tight = computer.compute(temps, p, c2k(tmax_c), Resource.BIG, row=0)
+    loose = computer.compute(temps, p, c2k(tmax_c + 3.0), Resource.BIG, row=0)
+    assert loose.total_budget_w > tight.total_budget_w
+
+
+@given(_temps, _powers)
+@settings(max_examples=50)
+def test_budget_equality_invariant(temps, powers):
+    """Plugging the budget back in hits Tmax exactly on the solved row."""
+    model = _model()
+    computer = PowerBudgetComputer(model, horizon_steps=10)
+    t = np.array(temps)
+    p = np.array(powers)
+    tmax = c2k(63.0)
+    res = computer.compute(t, p, tmax, Resource.BIG)
+    p_at_budget = p.copy()
+    p_at_budget[0] = res.total_budget_w
+    pred = model.predict_n_constant(t, p_at_budget, 10)
+    assert pred[res.row] == pytest.approx(tmax, abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Budget distribution
+# ---------------------------------------------------------------------------
+_component = st.builds(
+    Component,
+    name=st.sampled_from(["a", "b", "c"]),
+    frequencies_ghz=st.lists(
+        st.floats(min_value=0.1, max_value=3.0), min_size=2, max_size=5
+    ).map(lambda fs: tuple(sorted(set(round(f, 3) for f in fs)))).filter(
+        lambda fs: len(fs) >= 2
+    ),
+    perf_coeff=st.floats(min_value=0.1, max_value=5.0),
+    power_coeff=st.floats(min_value=0.1, max_value=3.0),
+)
+
+
+@given(st.lists(_component, min_size=1, max_size=3), st.floats(min_value=0.5, max_value=30.0))
+@settings(max_examples=40, deadline=None)
+def test_greedy_never_beats_branch_and_bound(components, budget):
+    greedy = solve_greedy(components, budget)
+    optimal = solve_branch_and_bound(components, budget)
+    assert greedy.feasible == optimal.feasible or optimal.feasible
+    if optimal.feasible and greedy.feasible:
+        assert greedy.cost >= optimal.cost - 1e-9
+        assert optimal.power_w <= budget + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Scheduler work conservation
+# ---------------------------------------------------------------------------
+from repro.governors.base import PlatformConfig
+from repro.platform.specs import PlatformSpec
+from repro.sim.scheduler import LoadBalancer
+from repro.workloads.generator import synthesize
+from repro.workloads.trace import WorkloadProgress
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.sampled_from(BIG_OPP_TABLE.frequencies_hz),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_scheduler_work_bounded_by_capacity(threads, online, freq, demand):
+    """Retired work never exceeds what the online cores can execute."""
+    spec = PlatformSpec()
+    balancer = LoadBalancer(spec, np.random.default_rng(0))
+    trace = synthesize("high", 60.0, threads=threads, seed=1, num_phases=0)
+    object.__setattr__(trace, "demand_jitter", 0.0)
+    object.__setattr__(trace, "thread_demand", demand)
+    config = PlatformConfig(
+        cluster=Resource.BIG,
+        big_freq_hz=freq,
+        little_freq_hz=1.2e9,
+        gpu_freq_hz=533e6,
+        big_online=online,
+        little_online=4,
+    )
+    out = balancer.assign(trace, WorkloadProgress(trace), config, 0.1)
+    capacity = online * freq * 0.1 / 1e9  # Gcycles available this interval
+    demand_total = threads * demand * 1.6e9 * 0.1 / 1e9
+    assert out.work_gcycles <= capacity + 1e-9
+    assert out.work_gcycles <= demand_total + 1e-9
+    # utilisation stays in range on every core
+    assert all(0.0 <= u <= 1.0 for u in out.big_utils)
+
+
+@given(st.floats(min_value=0.0, max_value=0.1))
+@settings(max_examples=30, deadline=None)
+def test_scheduler_frozen_time_scales_work(frozen):
+    spec = PlatformSpec()
+    balancer = LoadBalancer(spec, np.random.default_rng(0))
+    trace = synthesize("high", 60.0, threads=4, seed=1, num_phases=0)
+    object.__setattr__(trace, "demand_jitter", 0.0)
+    config = PlatformConfig(
+        cluster=Resource.BIG,
+        big_freq_hz=1.6e9,
+        little_freq_hz=1.2e9,
+        gpu_freq_hz=533e6,
+        big_online=4,
+        little_online=4,
+    )
+    progress = WorkloadProgress(trace)
+    full = balancer.assign(trace, progress, config, 0.1, frozen_s=0.0)
+    partial = balancer.assign(trace, progress, config, 0.1, frozen_s=frozen)
+    expected = full.work_gcycles * (0.1 - frozen) / 0.1
+    assert partial.work_gcycles == pytest.approx(expected, rel=1e-6, abs=1e-9)

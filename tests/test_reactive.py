@@ -1,0 +1,85 @@
+"""Reactive throttling heuristic (the paper's fan-mimicking baseline)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.governors.base import PlatformConfig
+from repro.governors.reactive import ReactiveThrottleGovernor
+from repro.platform.specs import BIG_OPP_TABLE, Resource
+from repro.units import celsius_to_kelvin as c2k, mhz
+
+
+@pytest.fixture()
+def gov():
+    return ReactiveThrottleGovernor(BIG_OPP_TABLE)
+
+
+PROPOSAL = PlatformConfig(
+    cluster=Resource.BIG,
+    big_freq_hz=mhz(1600),
+    little_freq_hz=mhz(1200),
+    gpu_freq_hz=mhz(177),
+    big_online=4,
+    little_online=4,
+)
+
+
+def test_no_throttle_below_63(gov):
+    out = gov.control(c2k(60.0), PROPOSAL)
+    assert out == PROPOSAL
+    assert gov.level == 0
+
+
+def test_first_level_is_18_percent(gov):
+    out = gov.control(c2k(64.0), PROPOSAL)
+    assert gov.level == 1
+    assert out.big_freq_hz == BIG_OPP_TABLE.floor(mhz(1600) * 0.82)
+
+
+def test_second_level_is_25_percent(gov):
+    out = gov.control(c2k(69.0), PROPOSAL)
+    assert gov.level == 2
+    assert out.big_freq_hz == BIG_OPP_TABLE.floor(mhz(1600) * 0.75)
+
+
+def test_throttle_is_sticky_until_release_point(gov):
+    gov.control(c2k(64.0), PROPOSAL)
+    # cooled a bit, but above the release point: still throttled
+    out = gov.control(c2k(60.0), PROPOSAL)
+    assert gov.level == 1
+    assert out.big_freq_hz < mhz(1600)
+    # well below the release hysteresis: free again
+    out = gov.control(c2k(56.0), PROPOSAL)
+    assert gov.level == 0
+    assert out.big_freq_hz == mhz(1600)
+
+
+def test_level_descends_one_at_a_time(gov):
+    gov.control(c2k(69.0), PROPOSAL)
+    assert gov.level == 2
+    gov.control(c2k(61.0), PROPOSAL)  # below 68-6
+    assert gov.level == 1
+    gov.control(c2k(56.0), PROPOSAL)
+    assert gov.level == 0
+
+
+def test_throttle_always_reduces_frequency(gov):
+    """Even when the ratio rounds to the same OPP, step down at least one."""
+    low_proposal = PROPOSAL.with_(big_freq_hz=mhz(900))
+    out = gov.control(c2k(64.0), low_proposal)
+    assert out.big_freq_hz < mhz(900)
+
+
+def test_reset(gov):
+    gov.control(c2k(69.0), PROPOSAL)
+    gov.reset()
+    assert gov.level == 0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ReactiveThrottleGovernor(
+            BIG_OPP_TABLE, first_threshold_c=68.0, second_threshold_c=63.0
+        )
+    with pytest.raises(ConfigurationError):
+        ReactiveThrottleGovernor(BIG_OPP_TABLE, first_throttle=0.0)

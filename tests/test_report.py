@@ -1,0 +1,44 @@
+"""Evaluation report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.workloads.benchmarks import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def quick_report(models):
+    workloads = [get_benchmark("dijkstra"), get_benchmark("matrix_mult")]
+    return generate_report(models=models, workloads=workloads)
+
+
+def test_report_has_all_sections(quick_report):
+    assert "# DTPM evaluation report" in quick_report
+    assert "## Temperature prediction accuracy" in quick_report
+    assert "## Regulation quality" in quick_report
+    assert "## DTPM vs fan-cooled default" in quick_report
+    assert "**Overall**" in quick_report
+
+
+def test_report_covers_requested_benchmarks(quick_report):
+    assert "dijkstra" in quick_report
+    assert "matrix_mult" in quick_report
+    assert "templerun" not in quick_report
+
+
+def test_report_sections_toggle(models):
+    text = generate_report(
+        models=models,
+        workloads=[get_benchmark("dijkstra")],
+        include_prediction=False,
+        include_regulation=False,
+    )
+    assert "prediction accuracy" not in text
+    assert "Fig. 6.9" in text
+
+
+def test_report_is_markdown_table_shaped(quick_report):
+    lines = [l for l in quick_report.splitlines() if l.startswith("|")]
+    assert len(lines) > 6
+    widths = {l.count("|") for l in lines if "category" in l or "---" in l}
+    assert widths  # header + separator rows present

@@ -1,0 +1,82 @@
+"""Scenario runner: consecutive benchmarks on one warm device."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import make_dtpm_governor
+from repro.sim.scenario import ScenarioRunner
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture()
+def workloads():
+    return [
+        synthesize("medium", 20.0, threads=2, seed=1),
+        synthesize("high", 20.0, threads=4, seed=2),
+    ]
+
+
+def test_sequence_carries_heat(workloads):
+    runner = ScenarioRunner(ThermalMode.NO_FAN, initial_temp_c=30.0)
+    first, second = runner.run(workloads)
+    # the second run starts where the first ended, so it begins hotter
+    assert second.max_temps_c()[0] > first.max_temps_c()[0] + 3.0
+    assert runner.device_temps_k is not None
+
+
+def test_sequence_vs_cold_runs(workloads):
+    warm = ScenarioRunner(ThermalMode.NO_FAN, initial_temp_c=30.0).run(workloads)
+    cold = [
+        ScenarioRunner(ThermalMode.NO_FAN, initial_temp_c=30.0).run([w])[0]
+        for w in workloads
+    ]
+    # back-to-back execution makes the later run peak hotter
+    assert warm[1].peak_temp_c() > cold[1].peak_temp_c() + 1.0
+
+
+def test_idle_gap_cools_between_runs(workloads):
+    packed = ScenarioRunner(ThermalMode.NO_FAN, initial_temp_c=30.0)
+    gapped = ScenarioRunner(
+        ThermalMode.NO_FAN, initial_temp_c=30.0, idle_gap_s=60.0
+    )
+    packed_results = packed.run(workloads)
+    gapped_results = gapped.run(workloads)
+    assert (
+        gapped_results[1].max_temps_c()[0]
+        < packed_results[1].max_temps_c()[0] - 1.0
+    )
+
+
+def test_dtpm_scenario_regulates_sustained_use(models):
+    config = SimulationConfig()
+    heavy = [synthesize("high", 25.0, threads=4, seed=s) for s in (1, 2, 3)]
+    runner = ScenarioRunner(
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models),
+        config=config,
+        initial_temp_c=40.0,
+    )
+    results = runner.run(heavy)
+    # even the third consecutive heavy run stays regulated
+    assert all(r.completed for r in results)
+    assert results[-1].peak_temp_c() < config.t_constraint_c + 2.7
+    # and the controller worked progressively harder as the device warmed
+    assert results[-1].interventions >= results[0].interventions
+
+
+def test_notes_record_position(workloads):
+    results = ScenarioRunner(ThermalMode.NO_FAN).run(workloads)
+    assert results[0].notes == ["scenario position 0"]
+    assert results[1].notes == ["scenario position 1"]
+
+
+def test_validation(workloads):
+    with pytest.raises(ConfigurationError):
+        ScenarioRunner(ThermalMode.DTPM)  # needs a governor
+    with pytest.raises(ConfigurationError):
+        ScenarioRunner(ThermalMode.NO_FAN, idle_gap_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        ScenarioRunner(ThermalMode.NO_FAN).run([])

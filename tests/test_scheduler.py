@@ -1,0 +1,123 @@
+"""Load balancer: thread placement, rate-limited demand, work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.governors.base import PlatformConfig
+from repro.platform.specs import PlatformSpec, Resource
+from repro.sim.scheduler import LoadBalancer
+from repro.workloads.benchmarks import MATRIX_MULT, TEMPLERUN
+from repro.workloads.generator import synthesize
+from repro.workloads.trace import WorkloadProgress
+from repro.units import mhz
+
+
+@pytest.fixture()
+def balancer(rng):
+    return LoadBalancer(PlatformSpec(), rng)
+
+
+def _config(freq=mhz(1600), online=4, cluster=Resource.BIG, little_freq=mhz(1200)):
+    return PlatformConfig(
+        cluster=cluster,
+        big_freq_hz=freq,
+        little_freq_hz=little_freq,
+        gpu_freq_hz=mhz(533),
+        big_online=online,
+        little_online=4,
+    )
+
+
+def _steady(threads=4, demand=1.0, seed=0):
+    trace = synthesize("high", 60.0, threads=threads, seed=seed, num_phases=0)
+    # remove jitter for exact arithmetic
+    object.__setattr__(trace, "demand_jitter", 0.0)
+    object.__setattr__(trace, "thread_demand", demand)
+    object.__setattr__(trace, "background_util", 0.2)
+    return trace
+
+
+def test_cpu_bound_threads_saturate_cores(balancer):
+    trace = _steady(threads=4)
+    out = balancer.assign(trace, WorkloadProgress(trace), _config(), 0.1)
+    assert all(u == 1.0 for u in out.big_utils)
+    assert out.little_utils == (0.0, 0.0, 0.0, 0.0)
+
+
+def test_work_scales_with_frequency_for_cpu_bound(balancer, rng):
+    trace = _steady(threads=4)
+    progress = WorkloadProgress(trace)
+    fast = balancer.assign(trace, progress, _config(mhz(1600)), 0.1)
+    slow = balancer.assign(trace, progress, _config(mhz(800)), 0.1)
+    assert fast.work_gcycles == pytest.approx(2.0 * slow.work_gcycles)
+
+
+def test_rate_limited_work_immune_to_mild_throttling(balancer):
+    trace = _steady(threads=2, demand=0.5)  # each thread needs 0.8 GHz
+    progress = WorkloadProgress(trace)
+    fast = balancer.assign(trace, progress, _config(mhz(1600)), 0.1)
+    throttled = balancer.assign(trace, progress, _config(mhz(1000)), 0.1)
+    assert throttled.work_gcycles == pytest.approx(fast.work_gcycles)
+    # but utilisation rises to compensate
+    assert max(throttled.big_utils) > max(fast.big_utils)
+
+
+def test_threads_fold_onto_fewer_cores(balancer):
+    trace = _steady(threads=4)
+    progress = WorkloadProgress(trace)
+    out = balancer.assign(trace, progress, _config(online=2), 0.1)
+    assert out.big_utils[2] == 0.0 and out.big_utils[3] == 0.0
+    assert out.big_utils[0] == 1.0  # two threads share, saturated
+    # saturated 2 cores retire half the work of 4
+    full = balancer.assign(trace, progress, _config(online=4), 0.1)
+    assert out.work_gcycles == pytest.approx(0.5 * full.work_gcycles)
+
+
+def test_little_cluster_ipc_penalty(balancer):
+    trace = _steady(threads=4)
+    progress = WorkloadProgress(trace)
+    spec = PlatformSpec()
+    big = balancer.assign(trace, progress, _config(), 0.1)
+    little = balancer.assign(
+        trace, progress, _config(cluster=Resource.LITTLE), 0.1
+    )
+    expected_ratio = (mhz(1200) * spec.little_core.ipc_factor) / mhz(1600)
+    assert little.work_gcycles / big.work_gcycles == pytest.approx(
+        expected_ratio, rel=1e-6
+    )
+    assert little.big_utils == (0.0, 0.0, 0.0, 0.0)
+
+
+def test_frozen_time_retires_no_work(balancer):
+    trace = _steady(threads=4)
+    progress = WorkloadProgress(trace)
+    normal = balancer.assign(trace, progress, _config(), 0.1, frozen_s=0.0)
+    frozen = balancer.assign(trace, progress, _config(), 0.1, frozen_s=0.1)
+    assert frozen.work_gcycles == 0.0
+    assert normal.work_gcycles > 0.0
+    half = balancer.assign(trace, progress, _config(), 0.1, frozen_s=0.05)
+    assert half.work_gcycles == pytest.approx(0.5 * normal.work_gcycles)
+
+
+def test_gpu_demand_rises_at_lower_gpu_clock(balancer):
+    progress = WorkloadProgress(TEMPLERUN)
+    cfg_fast = _config()
+    cfg_slow = cfg_fast.with_(gpu_freq_hz=mhz(266))
+    fast = balancer.assign(TEMPLERUN, progress, cfg_fast, 0.1)
+    slow = balancer.assign(TEMPLERUN, progress, cfg_slow, 0.1)
+    assert slow.gpu_util >= fast.gpu_util
+    assert slow.gpu_util <= 1.0
+
+
+def test_cpu_only_benchmark_leaves_gpu_idle(balancer):
+    progress = WorkloadProgress(MATRIX_MULT)
+    out = balancer.assign(MATRIX_MULT, progress, _config(), 0.1)
+    assert out.gpu_util == 0.0
+    assert out.cpu_activity == MATRIX_MULT.activity
+
+
+def test_invalid_interval_rejected(balancer):
+    trace = _steady()
+    with pytest.raises(SimulationError):
+        balancer.assign(trace, WorkloadProgress(trace), _config(), 0.0)

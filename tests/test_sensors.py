@@ -1,0 +1,60 @@
+"""Sensor models: noise, quantisation, and the sensor bank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.sensors import PowerSensor, SensorBank, TemperatureSensor
+
+
+def test_noiseless_sensor_is_exact(rng):
+    sensor = TemperatureSensor(rng, noise_sigma_k=0.0, quantum_k=0.0)
+    assert sensor.read(330.0) == pytest.approx(330.0)
+
+
+def test_quantisation_steps(rng):
+    sensor = TemperatureSensor(rng, noise_sigma_k=0.0, quantum_k=0.25)
+    value = sensor.read(330.13)
+    assert value == pytest.approx(round(330.13 / 0.25) * 0.25)
+
+
+def test_temperature_noise_statistics(rng):
+    sensor = TemperatureSensor(rng, noise_sigma_k=0.2, quantum_k=0.0)
+    readings = np.array([sensor.read(330.0) for _ in range(4000)])
+    assert abs(readings.mean() - 330.0) < 0.02
+    assert 0.15 < readings.std() < 0.25
+
+
+def test_power_sensor_relative_noise(rng):
+    sensor = PowerSensor(rng, relative_noise=0.02)
+    readings = np.array([sensor.read(2.0) for _ in range(4000)])
+    assert abs(readings.mean() - 2.0) < 0.01
+    assert 0.03 < readings.std() < 0.05
+
+
+def test_power_sensor_never_negative(rng):
+    sensor = PowerSensor(rng, relative_noise=0.5)
+    assert all(sensor.read(0.001) >= 0 for _ in range(100))
+
+
+def test_negative_noise_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        TemperatureSensor(rng, noise_sigma_k=-1.0)
+    with pytest.raises(ConfigurationError):
+        PowerSensor(rng, relative_noise=-0.1)
+
+
+def test_sensor_bank_shapes(rng):
+    bank = SensorBank(rng)
+    temps = bank.read_temperatures([330.0, 331.0, 332.0, 333.0])
+    powers = bank.read_powers([1.0, 0.2, 0.5, 0.3])
+    assert temps.shape == (4,)
+    assert powers.shape == (4,)
+
+
+def test_sensor_bank_rejects_wrong_lengths(rng):
+    bank = SensorBank(rng)
+    with pytest.raises(ConfigurationError):
+        bank.read_temperatures([330.0, 331.0])
+    with pytest.raises(ConfigurationError):
+        bank.read_powers([1.0])

@@ -1,0 +1,95 @@
+"""ExynosSoc: cluster exclusivity, switching, power aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterStateError
+from repro.platform.soc import ExynosSoc
+from repro.platform.specs import CLUSTER_MIGRATION_PENALTY_S, Resource
+from repro.units import celsius_to_kelvin as c2k
+
+
+@pytest.fixture()
+def soc():
+    return ExynosSoc()
+
+
+TEMPS = {"big": c2k(55), "little": c2k(50), "gpu": c2k(52), "mem": c2k(50)}
+
+
+def test_boots_on_big_cluster(soc):
+    assert soc.active_cluster is Resource.BIG
+    assert soc.big.active
+    assert not soc.little.active
+
+
+def test_switch_to_little_and_back(soc):
+    penalty = soc.switch_cluster(Resource.LITTLE)
+    assert penalty == pytest.approx(CLUSTER_MIGRATION_PENALTY_S)
+    assert soc.active_cluster is Resource.LITTLE
+    assert soc.little.num_online == 4
+    assert soc.little.frequency_hz == soc.little.opp_table.f_min_hz
+    penalty2 = soc.switch_cluster(Resource.BIG)
+    assert penalty2 > 0
+    assert soc.active_cluster is Resource.BIG
+
+
+def test_switch_to_same_cluster_is_free(soc):
+    assert soc.switch_cluster(Resource.BIG) == 0.0
+
+
+def test_cannot_switch_to_gpu(soc):
+    with pytest.raises(ClusterStateError):
+        soc.switch_cluster(Resource.GPU)
+
+
+def test_power_state_layout(soc):
+    soc.big.set_frequency(1.6e9)
+    soc.gpu.set_utilisation(0.5)
+    soc.mem.set_traffic(0.3)
+    state = soc.power_state(TEMPS, (1.0,) * 4, (0.0,) * 4)
+    vec = state.resource_vector_w()
+    assert vec.shape == (4,)
+    assert vec[0] > vec[1]  # active big >> gated little
+    assert state.total_w == pytest.approx(vec.sum())
+    assert vec.sum() == pytest.approx(
+        state.dynamic_vector_w().sum() + state.leakage_vector_w().sum()
+    )
+
+
+def test_big_core_powers_follow_utilisation(soc):
+    soc.big.set_frequency(1.6e9)
+    state = soc.power_state(TEMPS, (1.0, 0.2, 0.2, 0.2), (0.0,) * 4)
+    per_core = state.big_core_powers_w
+    assert per_core.shape == (4,)
+    assert per_core[0] > per_core[1]
+    assert per_core[0] > 2.0 * per_core[2]
+
+
+def test_offline_core_gets_no_power(soc):
+    soc.big.set_core_online(3, False)
+    state = soc.power_state(TEMPS, (1.0,) * 4, (0.0,) * 4)
+    assert state.big_core_powers_w[3] == 0.0
+
+
+def test_gated_big_cluster_spreads_residual_leakage(soc):
+    soc.switch_cluster(Resource.LITTLE)
+    state = soc.power_state(TEMPS, (0.0,) * 4, (1.0,) * 4)
+    per_core = state.big_core_powers_w
+    assert np.all(per_core > 0)
+    assert np.allclose(per_core, per_core[0])
+    assert per_core.sum() == pytest.approx(
+        state.per_resource[Resource.BIG].leakage_w
+    )
+
+
+def test_active_cpu_accessor(soc):
+    assert soc.active_cpu() is soc.big
+    soc.switch_cluster(Resource.LITTLE)
+    assert soc.active_cpu() is soc.little
+
+
+def test_inconsistent_state_detected(soc):
+    soc.little.activate()  # both clusters active: illegal platform state
+    with pytest.raises(ClusterStateError):
+        _ = soc.active_cluster

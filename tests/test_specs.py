@@ -1,0 +1,156 @@
+"""Platform specifications: OPP tables (Tables 6.1-6.3), voltage, leakage."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidFrequencyError
+from repro.platform.specs import (
+    BIG_FREQUENCIES_HZ,
+    BIG_OPP_TABLE,
+    GPU_FREQUENCIES_HZ,
+    GPU_OPP_TABLE,
+    LITTLE_FREQUENCIES_HZ,
+    LITTLE_OPP_TABLE,
+    POWER_RESOURCES,
+    BIG_LEAKAGE,
+    CoreSpec,
+    LeakageSpec,
+    OppTable,
+    PlatformSpec,
+    Resource,
+    VoltageCurve,
+    opp_table_for,
+)
+from repro.units import celsius_to_kelvin, mhz
+
+
+# -- Tables 6.1-6.3 ---------------------------------------------------------
+def test_table_6_1_big_cluster_frequencies():
+    expected = [800, 900, 1000, 1100, 1200, 1300, 1400, 1500, 1600]
+    assert [f / 1e6 for f in BIG_FREQUENCIES_HZ] == expected
+
+
+def test_table_6_2_little_cluster_frequencies():
+    expected = [500, 600, 700, 800, 900, 1000, 1100, 1200]
+    assert [f / 1e6 for f in LITTLE_FREQUENCIES_HZ] == expected
+
+
+def test_table_6_3_gpu_frequencies():
+    expected = [177, 266, 350, 480, 533]
+    assert [f / 1e6 for f in GPU_FREQUENCIES_HZ] == expected
+
+
+def test_power_vector_layout_matches_eq_5_3():
+    assert POWER_RESOURCES == (
+        Resource.BIG,
+        Resource.LITTLE,
+        Resource.GPU,
+        Resource.MEM,
+    )
+
+
+# -- OppTable behaviour ------------------------------------------------------
+def test_opp_floor_quantises_down():
+    assert BIG_OPP_TABLE.floor(mhz(1250)) == mhz(1200)
+    assert BIG_OPP_TABLE.floor(mhz(1200)) == mhz(1200)
+    assert BIG_OPP_TABLE.floor(mhz(100)) == mhz(800)  # below table -> f_min
+
+
+def test_opp_ceil_quantises_up():
+    assert BIG_OPP_TABLE.ceil(mhz(1250)) == mhz(1300)
+    assert BIG_OPP_TABLE.ceil(mhz(5000)) == mhz(1600)  # above table -> f_max
+
+
+def test_opp_step_up_down_clamped():
+    assert BIG_OPP_TABLE.step_down(mhz(800)) == mhz(800)
+    assert BIG_OPP_TABLE.step_up(mhz(1600)) == mhz(1600)
+    assert BIG_OPP_TABLE.step_down(mhz(1600), steps=2) == mhz(1400)
+
+
+def test_opp_validate_rejects_off_table():
+    with pytest.raises(InvalidFrequencyError):
+        BIG_OPP_TABLE.validate(mhz(850))
+
+
+def test_opp_contains():
+    assert mhz(1600) in BIG_OPP_TABLE
+    assert mhz(850) not in BIG_OPP_TABLE
+
+
+def test_opp_requires_increasing_frequencies():
+    curve = VoltageCurve(mhz(100), 0.9, mhz(200), 1.0)
+    with pytest.raises(ConfigurationError):
+        OppTable("bad", (mhz(200), mhz(100)), curve)
+
+
+def test_opp_table_for_resources():
+    assert opp_table_for(Resource.BIG) is BIG_OPP_TABLE
+    assert opp_table_for(Resource.LITTLE) is LITTLE_OPP_TABLE
+    assert opp_table_for(Resource.GPU) is GPU_OPP_TABLE
+    with pytest.raises(ConfigurationError):
+        opp_table_for(Resource.MEM)
+
+
+# -- voltage curves -----------------------------------------------------------
+def test_voltage_monotone_in_frequency():
+    freqs = BIG_OPP_TABLE.frequencies_hz
+    volts = [BIG_OPP_TABLE.voltage(f) for f in freqs]
+    assert all(b > a for a, b in zip(volts, volts[1:]))
+
+
+def test_voltage_anchors():
+    assert BIG_OPP_TABLE.voltage(mhz(800)) == pytest.approx(0.92)
+    assert BIG_OPP_TABLE.voltage(mhz(1600)) == pytest.approx(1.25)
+
+
+def test_voltage_curve_validation():
+    with pytest.raises(ConfigurationError):
+        VoltageCurve(mhz(200), 0.9, mhz(100), 1.0)
+    with pytest.raises(ConfigurationError):
+        VoltageCurve(mhz(100), 1.0, mhz(200), 0.9)
+
+
+# -- leakage spec -------------------------------------------------------------
+def test_leakage_grows_superlinearly_with_temperature():
+    p40 = BIG_LEAKAGE.power(celsius_to_kelvin(40), 0.92)
+    p60 = BIG_LEAKAGE.power(celsius_to_kelvin(60), 0.92)
+    p80 = BIG_LEAKAGE.power(celsius_to_kelvin(80), 0.92)
+    assert p40 < p60 < p80
+    # Fig. 4.3 shows ~3-4x growth over the 40->80 degC sweep
+    assert 2.5 < p80 / p40 < 5.0
+
+
+def test_leakage_power_scales_with_vdd():
+    t = celsius_to_kelvin(60)
+    assert BIG_LEAKAGE.power(t, 1.2) == pytest.approx(
+        1.2 / 0.9 * BIG_LEAKAGE.power(t, 0.9)
+    )
+
+
+def test_leakage_rejects_nonpositive_temperature():
+    with pytest.raises(ConfigurationError):
+        BIG_LEAKAGE.current(0.0)
+
+
+# -- core spec ----------------------------------------------------------------
+def test_dynamic_power_formula():
+    core = CoreSpec(switching_capacitance_f=0.28e-9, ipc_factor=1.0)
+    p = core.dynamic_power(1.6e9, 1.25, 1.0)
+    assert p == pytest.approx(0.28e-9 * 1.25 ** 2 * 1.6e9)
+
+
+def test_dynamic_power_clamps_utilisation():
+    core = CoreSpec(switching_capacitance_f=0.28e-9, ipc_factor=1.0)
+    assert core.dynamic_power(1.6e9, 1.25, 2.0) == pytest.approx(
+        core.dynamic_power(1.6e9, 1.25, 1.0)
+    )
+    assert core.dynamic_power(1.6e9, 1.25, -1.0) == 0.0
+
+
+def test_platform_spec_bundles_defaults():
+    spec = PlatformSpec()
+    assert spec.big_opp is BIG_OPP_TABLE
+    assert spec.cores_per_cluster == 4
+    assert len(spec.fan_power_w) == 4
+    assert spec.opp_table(Resource.GPU) is GPU_OPP_TABLE

@@ -1,0 +1,96 @@
+"""Discrete thermal state-space model (Eqs. 4.4 / 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.thermal.state_space import DiscreteThermalModel
+
+
+@pytest.fixture()
+def model():
+    a = 0.9 * np.eye(2)
+    b = np.array([[0.5, 0.1], [0.1, 0.5]])
+    return DiscreteThermalModel(a=a, b=b, offset=[30.0, 30.0], ts_s=0.1)
+
+
+def test_one_step_prediction(model):
+    t = np.array([300.0, 310.0])
+    p = np.array([1.0, 0.0])
+    pred = model.predict_next(t, p)
+    expected = model.a @ t + model.b @ p + model.offset
+    assert np.allclose(pred, expected)
+
+
+def test_n_step_constant_equals_iterated(model):
+    t = np.array([300.0, 310.0])
+    p = np.array([1.0, 0.5])
+    iterated = t.copy()
+    for _ in range(7):
+        iterated = model.predict_next(iterated, p)
+    direct = model.predict_n_constant(t, p, 7)
+    assert np.allclose(direct, iterated)
+
+
+def test_horizon_matrices_identities(model):
+    a_n, m_n, s_n = model.horizon_matrices(5)
+    assert np.allclose(a_n, np.linalg.matrix_power(model.a, 5))
+    s_expected = sum(np.linalg.matrix_power(model.a, i) for i in range(5))
+    assert np.allclose(s_n, s_expected)
+    assert np.allclose(m_n, s_expected @ model.b)
+
+
+def test_trajectory_prediction_shape(model):
+    traj = np.ones((10, 2))
+    preds = model.predict_horizon([300.0, 300.0], traj)
+    assert preds.shape == (10, 2)
+    # last row equals the constant-power prediction
+    assert np.allclose(
+        preds[-1], model.predict_n_constant([300.0, 300.0], [1.0, 1.0], 10)
+    )
+
+
+def test_stability_and_spectral_radius(model):
+    assert model.is_stable()
+    assert model.spectral_radius() == pytest.approx(0.9)
+    unstable = DiscreteThermalModel(a=1.1 * np.eye(2), b=np.eye(2), ts_s=0.1)
+    assert not unstable.is_stable()
+
+
+def test_dc_gain(model):
+    gain = model.dc_gain()
+    assert np.allclose(gain, np.linalg.solve(np.eye(2) - model.a, model.b))
+
+
+def test_equilibrium_consistency(model):
+    """At the DC fixed point, one more step changes nothing."""
+    p = np.array([1.0, 0.5])
+    t_eq = np.linalg.solve(np.eye(2) - model.a, model.b @ p + model.offset)
+    assert np.allclose(model.predict_next(t_eq, p), t_eq)
+
+
+def test_default_offset_is_zero():
+    m = DiscreteThermalModel(a=0.5 * np.eye(2), b=np.eye(2), ts_s=0.1)
+    assert np.allclose(m.offset, 0.0)
+
+
+def test_input_validation(model):
+    with pytest.raises(ModelError):
+        model.predict_next([300.0], [1.0, 0.0])
+    with pytest.raises(ModelError):
+        model.predict_next([300.0, 300.0], [1.0])
+    with pytest.raises(ModelError):
+        model.predict_horizon([300.0, 300.0], np.ones((5, 3)))
+    with pytest.raises(ModelError):
+        model.horizon_matrices(0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ModelError):
+        DiscreteThermalModel(a=np.ones((2, 3)), b=np.eye(2), ts_s=0.1)
+    with pytest.raises(ModelError):
+        DiscreteThermalModel(a=np.eye(2), b=np.ones((3, 2)), ts_s=0.1)
+    with pytest.raises(ModelError):
+        DiscreteThermalModel(a=np.eye(2), b=np.eye(2), offset=[1.0], ts_s=0.1)
+    with pytest.raises(ModelError):
+        DiscreteThermalModel(a=np.eye(2), b=np.eye(2), ts_s=0.0)

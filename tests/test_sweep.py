@@ -1,0 +1,52 @@
+"""Parameter-sweep utilities (the ablation machinery)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.sweep import (
+    sweep_constraint,
+    sweep_guard_band,
+    sweep_horizon,
+    sweep_sensor_noise,
+)
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthesize("high", 25.0, threads=4, seed=6)
+
+
+def test_constraint_sweep_orders_regulation(models, workload):
+    points = sweep_constraint(workload, [58.0, 66.0], models, warm_start_c=54.0)
+    tight, loose = points
+    # a tighter constraint means a cooler (or equal) peak...
+    assert tight.peak_c <= loose.peak_c + 0.5
+    # ...bought with more interventions and more time
+    assert tight.interventions >= loose.interventions
+    assert tight.execution_time_s >= loose.execution_time_s - 0.2
+
+
+def test_horizon_sweep_runs(models, workload):
+    points = sweep_horizon(workload, [1, 10], models, warm_start_c=56.0)
+    assert [p.value for p in points] == [1.0, 10.0]
+    for p in points:
+        assert p.result.completed
+
+
+def test_guard_band_reduces_overshoot(models, workload):
+    points = sweep_guard_band(workload, [0.0, 2.0], models, warm_start_c=56.0)
+    none, wide = points
+    assert wide.overshoot_c <= none.overshoot_c + 0.3
+
+
+def test_sensor_noise_sweep_still_regulates(models, workload):
+    points = sweep_sensor_noise(workload, [0.0, 0.6], models, warm_start_c=56.0)
+    for p in points:
+        assert p.result.completed
+        assert p.peak_c < 67.0  # regulation survives noisy sensors
+
+
+def test_horizon_validation(models, workload):
+    with pytest.raises(ConfigurationError):
+        sweep_horizon(workload, [0], models)

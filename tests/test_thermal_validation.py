@@ -1,0 +1,84 @@
+"""Prediction-error metrics (Section 4.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.thermal.state_space import DiscreteThermalModel
+from repro.thermal.validation import (
+    error_vs_horizon,
+    horizon_predictions,
+    prediction_error_report,
+)
+
+
+@pytest.fixture()
+def model():
+    return DiscreteThermalModel(
+        a=0.9 * np.eye(2),
+        b=0.2 * np.eye(2),
+        offset=[33.0, 33.0],
+        ts_s=0.1,
+    )
+
+
+def _rollout(model, steps, rng):
+    t = np.array([330.0, 331.0])
+    temps, powers = [], []
+    for k in range(steps):
+        p = rng.uniform(0.0, 2.0, size=2)
+        temps.append(t.copy())
+        powers.append(p)
+        t = model.predict_next(t, p)
+    return np.stack(temps), np.stack(powers)
+
+
+def test_perfect_model_has_zero_error(model, rng):
+    temps, powers = _rollout(model, 200, rng)
+    report = prediction_error_report(model, temps, powers, 10)
+    assert report.mean_abs_c < 1e-9
+    assert report.max_abs_c < 1e-9
+    assert report.samples == (200 - 10) * 2
+
+
+def test_wrong_model_has_positive_error(model, rng):
+    temps, powers = _rollout(model, 200, rng)
+    wrong = DiscreteThermalModel(
+        a=0.85 * np.eye(2), b=0.2 * np.eye(2), offset=[33.0, 33.0], ts_s=0.1
+    )
+    report = prediction_error_report(wrong, temps, powers, 10)
+    assert report.mean_abs_c > 0.1
+
+
+def test_error_grows_with_horizon(model, rng):
+    temps, powers = _rollout(model, 400, rng)
+    wrong = DiscreteThermalModel(
+        a=0.88 * np.eye(2), b=0.2 * np.eye(2), offset=[33.0, 33.0], ts_s=0.1
+    )
+    reports = error_vs_horizon(wrong, temps, powers, [1, 5, 20])
+    assert reports[1].mean_abs_c < reports[5].mean_abs_c < reports[20].mean_abs_c
+
+
+def test_predictions_alignment(model, rng):
+    temps, powers = _rollout(model, 50, rng)
+    preds = horizon_predictions(model, temps, powers, 5)
+    assert preds.shape == (45, 2)
+    assert np.allclose(preds, temps[5:])
+
+
+def test_report_fields(model, rng):
+    temps, powers = _rollout(model, 100, rng)
+    report = prediction_error_report(model, temps, powers, 10)
+    assert report.horizon_s == pytest.approx(1.0)
+    assert report.rms_c >= 0
+    assert report.mean_pct >= 0
+
+
+def test_invalid_horizons(model, rng):
+    temps, powers = _rollout(model, 20, rng)
+    with pytest.raises(ModelError):
+        prediction_error_report(model, temps, powers, 0)
+    with pytest.raises(ModelError):
+        prediction_error_report(model, temps, powers, 20)
+    with pytest.raises(ModelError):
+        horizon_predictions(model, temps[:10], powers, 5)

@@ -1,0 +1,48 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    KELVIN_OFFSET,
+    celsius_to_kelvin,
+    clamp,
+    ghz,
+    hz_to_ghz,
+    hz_to_mhz,
+    kelvin_to_celsius,
+    mhz,
+    milliwatts,
+)
+
+
+def test_celsius_kelvin_round_trip():
+    assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert kelvin_to_celsius(celsius_to_kelvin(63.0)) == pytest.approx(63.0)
+
+
+def test_kelvin_offset_constant():
+    assert KELVIN_OFFSET == pytest.approx(273.15)
+
+
+def test_frequency_conversions():
+    assert mhz(800) == pytest.approx(8e8)
+    assert ghz(1.6) == pytest.approx(1.6e9)
+    assert hz_to_mhz(8e8) == pytest.approx(800.0)
+    assert hz_to_ghz(1.6e9) == pytest.approx(1.6)
+
+
+def test_milliwatts():
+    assert milliwatts(250.0) == pytest.approx(0.25)
+
+
+def test_clamp_inside_and_outside():
+    assert clamp(5.0, 0.0, 10.0) == 5.0
+    assert clamp(-1.0, 0.0, 10.0) == 0.0
+    assert clamp(11.0, 0.0, 10.0) == 10.0
+
+
+def test_clamp_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        clamp(1.0, 2.0, 0.0)
