@@ -1,22 +1,38 @@
 """Shared infrastructure for the figure/table regeneration harness.
 
 Every benchmark regenerates one artefact of the paper's evaluation and
-asserts its qualitative shape.  Closed-loop runs are memoised in a
-session-scoped cache so figures that share runs (e.g. Figs. 6.3 and 6.5
-both need Templerun) do not recompute them, and rendered artefacts are
-written to ``benchmarks/artifacts/`` for inspection.
+asserts its qualitative shape.  All closed-loop runs funnel through one
+session-scoped :class:`~repro.runner.ParallelRunner` whose
+content-addressed cache memoises them, so figures that share runs (e.g.
+Figs. 6.3 and 6.5 both need Templerun) never recompute them.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    When set, both the identified models and every run result persist
+    there -- CI jobs and local sessions share one cache, and re-running
+    the suite against unchanged code is near-free.  Unset, the cache is
+    in-memory (per-session memoisation only, the historical behaviour).
+``REPRO_WORKERS``
+    Process count for run fan-out (default: serial in-process).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple
 
 import pytest
 
+from repro.runner import (
+    ExperimentMatrix,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    cached_build_models,
+    default_cache_dir,
+)
 from repro.sim.engine import ThermalMode
-from repro.sim.experiment import run_benchmark
-from repro.sim.models import ModelBundle, build_models
+from repro.sim.models import ModelBundle
 from repro.sim.run_result import RunResult
 from repro.workloads.benchmarks import get_benchmark
 
@@ -25,30 +41,48 @@ ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
 
 @pytest.fixture(scope="session")
 def models() -> ModelBundle:
-    """The characterized + identified model bundle (one per session)."""
-    return build_models()
+    """The characterized + identified model bundle (one per session).
+
+    Served from the on-disk model store when ``REPRO_CACHE_DIR`` is set.
+    """
+    return cached_build_models()
+
+
+@pytest.fixture(scope="session")
+def runner(models) -> ParallelRunner:
+    """Session-wide cache-backed runner every benchmark run goes through."""
+    workers = int(os.environ.get("REPRO_WORKERS", "1") or "1")
+    return ParallelRunner(
+        workers=workers,
+        cache=ResultCache(root=default_cache_dir()),
+        models=models,
+    )
 
 
 class RunCache:
     """Memoised (benchmark, mode) -> RunResult closed-loop runs."""
 
-    def __init__(self, models: ModelBundle) -> None:
-        self.models = models
-        self._cache: Dict[Tuple[str, ThermalMode], RunResult] = {}
+    def __init__(self, runner: ParallelRunner) -> None:
+        self.runner = runner
 
     def get(self, benchmark_name: str, mode: ThermalMode) -> RunResult:
-        key = (benchmark_name, mode)
-        if key not in self._cache:
-            self._cache[key] = run_benchmark(
-                get_benchmark(benchmark_name), mode, models=self.models
-            )
-        return self._cache[key]
+        return self.runner.run_one(
+            RunSpec(workload=get_benchmark(benchmark_name), mode=mode)
+        )
+
+    def matrix(self, benchmarks, modes) -> ExperimentMatrix:
+        """Declarative grid over named benchmarks x modes."""
+        return ExperimentMatrix(workloads=tuple(benchmarks), modes=tuple(modes))
+
+    def run(self, matrix: ExperimentMatrix):
+        """Execute a grid through the shared cache-backed runner."""
+        return self.runner.run(matrix)
 
 
 @pytest.fixture(scope="session")
-def runs(models) -> RunCache:
+def runs(runner) -> RunCache:
     """Session-wide run cache."""
-    return RunCache(models)
+    return RunCache(runner)
 
 
 def save_artifact(name: str, content: str) -> str:

@@ -13,7 +13,7 @@ from repro.analysis.tables import render_table
 from repro.config import SimulationConfig
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.experiment import make_dtpm_governor
-from repro.sim.models import ModelBundle, build_models
+from repro.sim.models import build_models
 from repro.workloads.benchmarks import BASICMATH
 
 

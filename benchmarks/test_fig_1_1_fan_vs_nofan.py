@@ -7,7 +7,6 @@ paper's shape: without the fan the temperature runs away past 80 degC and
 keeps climbing, while the fan holds a bounded band in the low 60s.
 """
 
-import numpy as np
 from conftest import save_artifact
 
 from repro.analysis.figures import ascii_timeseries

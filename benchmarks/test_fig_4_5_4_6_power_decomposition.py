@@ -6,7 +6,6 @@ leakage grows exponentially.  Fig. 4.6 (fixed temperature, frequency swept
 only slightly (through Vdd).
 """
 
-import numpy as np
 from conftest import save_artifact
 
 from repro.analysis.figures import ascii_bars

@@ -6,7 +6,6 @@ constraint like the fan's, its band is far tighter, and the variance drops
 by as much as ~6x versus the fan-cooled default.
 """
 
-import pytest
 from conftest import save_artifact
 
 from repro.analysis.figures import ascii_grouped_bars

@@ -12,39 +12,32 @@ suite.  Shape to reproduce:
   band (we assert >5 % and <5 % respectively).
 """
 
-import numpy as np
 from conftest import save_artifact
 
 from repro.analysis.figures import ascii_grouped_bars
 from repro.sim.engine import ThermalMode
+from repro.sim.experiment import comparison_row
 from repro.sim.metrics import (
-    ComparisonRow,
     overall_summary,
-    performance_loss_pct,
-    power_savings_pct,
     summarize_categories,
 )
 from repro.workloads.benchmarks import ALL_BENCHMARKS
 
 
 def test_fig_6_9(runs, benchmark):
+    # the whole figure is one declarative grid: 15 benchmarks x 2 modes,
+    # fanned out / memoised by the shared cache-backed runner
+    matrix = runs.matrix(
+        ALL_BENCHMARKS,
+        (ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM),
+    )
+
     def collect():
+        results = runs.run(matrix)
         rows = []
-        for workload in ALL_BENCHMARKS:
-            base = runs.get(workload.name, ThermalMode.DEFAULT_WITH_FAN)
-            dtpm = runs.get(workload.name, ThermalMode.DTPM)
-            rows.append(
-                ComparisonRow(
-                    benchmark=workload.name,
-                    category=workload.category,
-                    power_savings_pct=power_savings_pct(base, dtpm),
-                    performance_loss_pct=performance_loss_pct(base, dtpm),
-                    baseline_power_w=base.average_platform_power_w,
-                    dtpm_power_w=dtpm.average_platform_power_w,
-                    baseline_time_s=base.execution_time_s,
-                    dtpm_time_s=dtpm.execution_time_s,
-                )
-            )
+        for i, workload in enumerate(ALL_BENCHMARKS):
+            base, dtpm = results[2 * i], results[2 * i + 1]
+            rows.append(comparison_row(workload, base, dtpm))
         return rows
 
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)

@@ -7,7 +7,6 @@ a sweep over budgets comparing the exact branch-and-bound solution with
 the deployable greedy heuristic of Eq. 7.3.
 """
 
-import numpy as np
 from conftest import save_artifact
 
 from repro.analysis.tables import render_table

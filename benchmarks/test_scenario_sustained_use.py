@@ -8,7 +8,6 @@ drifts past the constraint across apps, while the DTPM keeps every app in
 the session regulated without a fan.
 """
 
-import numpy as np
 from conftest import save_artifact
 
 from repro.analysis.tables import render_table

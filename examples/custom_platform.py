@@ -12,7 +12,6 @@ Run with::
     python examples/custom_platform.py
 """
 
-from dataclasses import replace
 
 from repro.config import SimulationConfig
 from repro.platform.specs import (

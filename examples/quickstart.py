@@ -3,15 +3,32 @@
 Builds the controller's models the way the paper does (furnace leakage
 characterization is pre-fitted; PRBS system identification runs live),
 then executes the Templerun game workload under the proposed DTPM
-configuration and under the fan-cooled default, and prints the comparison.
+configuration and under the fan-cooled default through the experiment
+runner, and prints the comparison.
+
+Both runs go through one declarative :class:`~repro.runner.ExperimentMatrix`
+executed by a :class:`~repro.runner.ParallelRunner`.  Set ``REPRO_CACHE_DIR``
+to make re-runs (models and simulations) near-instant, and
+``REPRO_WORKERS`` to fan the grid out over processes::
+
+    REPRO_CACHE_DIR=~/.cache/repro-dtpm python examples/quickstart.py
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import ThermalMode, default_models, get_benchmark, run_benchmark
+import os
+
+from repro import ThermalMode, get_benchmark
 from repro.analysis.figures import ascii_timeseries
+from repro.runner import (
+    ExperimentMatrix,
+    ParallelRunner,
+    ResultCache,
+    cached_build_models,
+    default_cache_dir,
+)
 from repro.sim.metrics import (
     performance_loss_pct,
     power_savings_pct,
@@ -21,21 +38,31 @@ from repro.sim.metrics import (
 
 def main() -> None:
     print("Building models (PRBS system identification)...")
-    models = default_models()
+    models = cached_build_models()  # on-disk memo when REPRO_CACHE_DIR is set
     print(
         "  identified 4x4 thermal model, spectral radius %.3f"
         % models.thermal.spectral_radius()
     )
 
     workload = get_benchmark("templerun")
-    print("\nRunning %s under the fan-cooled default..." % workload.name)
-    base = run_benchmark(workload, ThermalMode.DEFAULT_WITH_FAN, models=models)
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM),
+    )
+    runner = ParallelRunner(
+        workers=int(os.environ.get("REPRO_WORKERS", "1") or "1"),
+        cache=ResultCache(root=default_cache_dir()),
+        models=models,
+    )
+    print(
+        "\nRunning %s under the fan-cooled default and the proposed DTPM..."
+        % workload.name
+    )
+    base, dtpm = runner.run(matrix)
     print("  " + base.summary())
-
-    print("Running %s under the proposed DTPM (no fan)..." % workload.name)
-    dtpm = run_benchmark(workload, ThermalMode.DTPM, models=models)
     print("  " + dtpm.summary())
     print("  DTPM interventions: %d control intervals" % dtpm.interventions)
+    print("  " + runner.last_stats.summary())
 
     print(
         "\n"

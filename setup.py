@@ -1,0 +1,10 @@
+"""Shim so `pip install -e .` works without build isolation.
+
+All metadata lives in pyproject.toml; this file only gives pip's legacy
+code path (used on machines where isolation cannot fetch setuptools/wheel)
+an entry point.
+"""
+
+from setuptools import setup
+
+setup()

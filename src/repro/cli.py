@@ -6,8 +6,13 @@ Subcommands::
     python -m repro.cli identify           # run the Chapter-4 pipeline
     python -m repro.cli run BENCH MODE     # one benchmark, one configuration
     python -m repro.cli compare BENCH      # all four configurations
-    python -m repro.cli suite              # the Fig. 6.9 sweep (slow)
+    python -m repro.cli suite              # the Fig. 6.9 sweep
+    python -m repro.cli sweep KNOB         # one ablation knob sweep
+    python -m repro.cli matrix             # benchmarks x modes grid
 
+``suite``, ``sweep`` and ``matrix`` accept ``--workers N`` (process
+fan-out) and ``--cache-dir DIR`` (content-addressed result cache; defaults
+to ``$REPRO_CACHE_DIR`` when set), so repeated invocations are near-free.
 Exposed as the ``repro-dtpm`` console script as well.
 """
 
@@ -17,11 +22,22 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.analysis.tables import benchmark_table, frequency_table, render_table
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ExperimentMatrix,
+    ParallelRunner,
+    ResultCache,
+    cached_build_models,
+    default_cache_dir,
+)
 from repro.sim.engine import ThermalMode
-from repro.sim.experiment import compare_modes, dtpm_vs_default, run_benchmark
+from repro.sim.experiment import (
+    compare_modes,
+    dtpm_vs_default,
+    run_benchmark,
+)
 from repro.sim.metrics import (
     overall_summary,
     performance_loss_pct,
@@ -29,6 +45,12 @@ from repro.sim.metrics import (
     summarize_categories,
 )
 from repro.sim.models import build_models, default_models
+from repro.sim.sweep import (
+    sweep_constraint,
+    sweep_guard_band,
+    sweep_horizon,
+    sweep_sensor_noise,
+)
 from repro.workloads.benchmarks import (
     ALL_BENCHMARKS,
     benchmark_names,
@@ -37,6 +59,63 @@ from repro.workloads.benchmarks import (
 )
 
 _MODES = {m.value: m for m in ThermalMode}
+
+#: Knob name -> (sweep function, value parser, default axis, unit label,
+#: domain probe run *before* the expensive model build).
+_SWEEPS = {
+    "constraint": (
+        sweep_constraint, float, (58.0, 61.0, 63.0, 66.0), "degC",
+        lambda v: SimulationConfig(t_constraint_c=v),
+    ),
+    "horizon": (
+        sweep_horizon, int, (1, 5, 10, 30), "steps",
+        lambda v: SimulationConfig(prediction_horizon_steps=v),
+    ),
+    "guard_band": (
+        sweep_guard_band, float, (0.0, 0.75, 1.5, 2.5), "K",
+        lambda v: None,
+    ),
+    "sensor_noise": (
+        sweep_sensor_noise, float, (0.0, 0.15, 0.3, 0.6), "degC",
+        lambda v: SimulationConfig(temp_sensor_noise_c=v),
+    ),
+}
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="process count for parallel fan-out (default: serial)")
+    parser.add_argument(
+        "--cache-dir", default=default_cache_dir(),
+        help="result-cache directory (default: $REPRO_CACHE_DIR if set)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if a directory is configured")
+
+
+def _make_runner(args, models=None) -> ParallelRunner:
+    cache = None
+    if not args.no_cache and args.cache_dir:
+        cache = ResultCache(root=args.cache_dir)
+    return ParallelRunner(workers=args.workers, cache=cache, models=models)
+
+
+def _load_models(args):
+    """The identified models, via the on-disk store when one is configured."""
+    if args.no_cache or not args.cache_dir:
+        return default_models()
+    return cached_build_models(root=args.cache_dir)
 
 
 def _cmd_tables(_args) -> int:
@@ -129,9 +208,115 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _cmd_suite(_args) -> int:
+def _cmd_sweep(args) -> int:
+    sweep_fn, parse, default_values, unit, probe = _SWEEPS[args.knob]
+    try:
+        values = (
+            [parse(v) for v in args.values.split(",")]
+            if args.values
+            else list(default_values)
+        )
+    except ValueError:
+        print(
+            "error: --values must be comma-separated %s numbers, got %r"
+            % (args.knob, args.values),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        for value in values:
+            probe(value)
+    except ConfigurationError as exc:
+        print("error: invalid %s value: %s" % (args.knob, exc), file=sys.stderr)
+        return 2
+    workload = get_benchmark(args.benchmark)
+    models = _load_models(args)
+    runner = _make_runner(args, models=models)
+    print(
+        "Sweeping %s over %s (%s) on %s..."
+        % (args.knob, values, unit, workload.name)
+    )
+    points = sweep_fn(workload, values, models, runner=runner)
+    print(
+        render_table(
+            ["%s (%s)" % (args.knob, unit), "peak (C)", "overshoot (C)",
+             "time (s)", "avg power (W)", "interventions"],
+            [
+                [
+                    "%g" % p.value,
+                    "%.1f" % p.peak_c,
+                    "%.1f" % p.overshoot_c,
+                    "%.1f" % p.execution_time_s,
+                    "%.2f" % p.average_power_w,
+                    "%d" % p.interventions,
+                ]
+                for p in points
+            ],
+            title="Ablation: %s sweep on %s" % (args.knob, workload.name),
+        )
+    )
+    print(runner.last_stats.summary())
+    return 0
+
+
+def _cmd_matrix(args) -> int:
+    from repro.errors import WorkloadError
+
+    benchmarks = (
+        args.benchmarks.split(",") if args.benchmarks else benchmark_names()
+    )
+    mode_names = args.modes.split(",") if args.modes else list(_MODES)
+    unknown = [m for m in mode_names if m not in _MODES]
+    if unknown:
+        print(
+            "error: unknown mode(s) %s (choose from %s)"
+            % (", ".join(unknown), ", ".join(sorted(_MODES))),
+            file=sys.stderr,
+        )
+        return 2
+    modes = tuple(_MODES[m] for m in mode_names)
+    try:
+        matrix = ExperimentMatrix(workloads=tuple(benchmarks), modes=modes)
+    except WorkloadError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    needs_models = any(m is ThermalMode.DTPM for m in modes)
+    runner = _make_runner(
+        args, models=_load_models(args) if needs_models else None
+    )
+    print(
+        "Running a %dx%d experiment matrix (%d runs, %d workers)..."
+        % (len(benchmarks), len(modes), len(matrix), args.workers)
+    )
+    results = runner.run(matrix)
+    specs = matrix.specs()
+    print(
+        render_table(
+            ["benchmark", "mode", "time (s)", "power (W)", "peak (C)",
+             "interventions"],
+            [
+                [
+                    s.workload.name,
+                    s.mode.value,
+                    "%.1f" % r.execution_time_s,
+                    "%.2f" % r.average_platform_power_w,
+                    "%.1f" % r.peak_temp_c(),
+                    "%d" % r.interventions,
+                ]
+                for s, r in zip(specs, results)
+            ],
+            title="Experiment matrix",
+        )
+    )
+    print(runner.last_stats.summary())
+    return 0
+
+
+def _cmd_suite(args) -> int:
     print("Running the full Fig. 6.9 sweep (15 benchmarks x 2 configs)...")
-    rows = dtpm_vs_default(ALL_BENCHMARKS, models=default_models())
+    models = _load_models(args)
+    runner = _make_runner(args, models=models)
+    rows = dtpm_vs_default(ALL_BENCHMARKS, models=models, runner=runner)
     table_rows = [
         [
             r.benchmark,
@@ -150,6 +335,7 @@ def _cmd_suite(_args) -> int:
     )
     print("\nper category:", summarize_categories(rows))
     print("overall:", overall_summary(rows))
+    print(runner.last_stats.summary())
     return 0
 
 
@@ -183,9 +369,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("benchmark", choices=benchmark_names())
     p_cmp.set_defaults(func=_cmd_compare)
 
-    sub.add_parser("suite", help="the full Fig. 6.9 sweep").set_defaults(
-        func=_cmd_suite
+    p_suite = sub.add_parser("suite", help="the full Fig. 6.9 sweep")
+    _add_runner_args(p_suite)
+    p_suite.set_defaults(func=_cmd_suite)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="sweep one ablation knob through the parallel runner"
     )
+    p_sweep.add_argument("knob", choices=sorted(_SWEEPS))
+    p_sweep.add_argument("--benchmark", default="basicmath",
+                         choices=benchmark_names())
+    p_sweep.add_argument("--values",
+                         help="comma-separated knob values (default: a "
+                              "paper-centred axis)")
+    _add_runner_args(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_mat = sub.add_parser(
+        "matrix", help="run a benchmarks x modes experiment matrix"
+    )
+    p_mat.add_argument("--benchmarks",
+                       help="comma-separated benchmark names (default: all)")
+    p_mat.add_argument("--modes",
+                       help="comma-separated modes (default: all four)")
+    _add_runner_args(p_mat)
+    p_mat.set_defaults(func=_cmd_matrix)
 
     p_rep = sub.add_parser("report", help="write a markdown evaluation report")
     p_rep.add_argument("--output", default="dtpm_report.md")

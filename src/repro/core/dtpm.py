@@ -49,9 +49,9 @@ class DtpmGovernor:
         self,
         thermal_model: DiscreteThermalModel,
         power_model: PowerModel,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
-        policy: DtpmPolicy = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
+        policy: Optional[DtpmPolicy] = None,
         guard_band_k: float = 0.75,
         observer=None,
     ) -> None:

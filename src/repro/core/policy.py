@@ -57,8 +57,8 @@ class DtpmPolicy:
 
     def __init__(
         self,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         return_margin_k: float = 2.0,
         return_hold_intervals: int = 30,
     ) -> None:

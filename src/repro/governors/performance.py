@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
 from repro.governors.base import FrequencyGovernor, LoadSample
 from repro.platform.specs import OppTable
 

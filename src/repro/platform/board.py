@@ -7,6 +7,8 @@ it; the DTPM controller observes it exclusively through
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,8 +53,8 @@ class OdroidBoard:
 
     def __init__(
         self,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         rng: np.random.Generator = None,
         fan_enabled: bool = True,
         thermal_constants: dict = None,
@@ -88,7 +90,7 @@ class OdroidBoard:
         """Simulated wall-clock time (s)."""
         return self._time_s
 
-    def warm_start(self, hotspot_c: float, case_c: float = None) -> None:
+    def warm_start(self, hotspot_c: float, case_c: Optional[float] = None) -> None:
         """Pre-heat the device as after boot + prior use.
 
         The paper's traces start well above ambient (the board has been

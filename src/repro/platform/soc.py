@@ -9,7 +9,7 @@ noisy sensors) by the DTPM controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class SocPowerState:
 class ExynosSoc:
     """The simulated Exynos 5410: big + little clusters, GPU, memory."""
 
-    def __init__(self, spec: PlatformSpec = None) -> None:
+    def __init__(self, spec: Optional[PlatformSpec] = None) -> None:
         self.spec = spec or PlatformSpec()
         self.big = CpuCluster(
             Resource.BIG,

@@ -14,7 +14,7 @@ it never touches the platform's ground-truth constants, only sensor data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.platform.specs import PlatformSpec, POWER_RESOURCES, Resource
 from repro.power.fitting import LeakageFit, fit_leakage
 from repro.power.leakage import LeakageModel
 from repro.power.model import PowerModel, ResourcePowerModel
-from repro.units import celsius_to_kelvin
 
 #: Default furnace setpoints (Celsius), as in the paper.
 DEFAULT_SETPOINTS_C: Tuple[float, ...] = (40.0, 50.0, 60.0, 70.0, 80.0)
@@ -64,8 +63,8 @@ class FurnaceRig:
 
     def __init__(
         self,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         setpoints_c: Sequence[float] = DEFAULT_SETPOINTS_C,
         soak_s: float = 80.0,
         measure_s: float = 40.0,
@@ -191,7 +190,7 @@ class FurnaceRig:
         return PowerModel(models)
 
 
-def default_leakage_models(spec: PlatformSpec = None) -> Dict[Resource, LeakageModel]:
+def default_leakage_models(spec: Optional[PlatformSpec] = None) -> Dict[Resource, LeakageModel]:
     """Pre-fitted leakage models for the default platform.
 
     Running the furnace takes a few simulated minutes; tests and examples
@@ -206,7 +205,7 @@ def default_leakage_models(spec: PlatformSpec = None) -> Dict[Resource, LeakageM
     }
 
 
-def default_power_model(spec: PlatformSpec = None) -> PowerModel:
+def default_power_model(spec: Optional[PlatformSpec] = None) -> PowerModel:
     """A ready-to-use PowerModel with the cached default leakage fits."""
     spec = spec or PlatformSpec()
     leakage = default_leakage_models(spec)

@@ -16,6 +16,8 @@ not whipsaw the frequency decisions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ModelError
 from repro.power.leakage import LeakageModel
 
@@ -76,7 +78,7 @@ class DynamicPowerModel:
     frequency: ``P_dyn = alpha*C * Vdd^2 * f``.
     """
 
-    def __init__(self, estimator: AlphaCEstimator = None) -> None:
+    def __init__(self, estimator: Optional[AlphaCEstimator] = None) -> None:
         self.estimator = estimator or AlphaCEstimator()
 
     def predict_w(self, frequency_hz: float, vdd: float) -> float:

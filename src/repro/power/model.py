@@ -36,7 +36,7 @@ class ResourcePowerModel:
         resource: Resource,
         leakage: LeakageModel,
         opp_table: Optional[OppTable] = None,
-        estimator: AlphaCEstimator = None,
+        estimator: Optional[AlphaCEstimator] = None,
     ) -> None:
         self.resource = resource
         self.leakage = leakage
@@ -62,7 +62,7 @@ class ResourcePowerModel:
 
     # -- prediction ----------------------------------------------------
     def predict_total_w(
-        self, frequency_hz: float, temperature_k: float, vdd: float = None
+        self, frequency_hz: float, temperature_k: float, vdd: Optional[float] = None
     ) -> float:
         """Predicted total power at an operating point (Eq. 4.1)."""
         if vdd is None:

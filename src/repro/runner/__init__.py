@@ -1,0 +1,75 @@
+"""Experiment orchestration: declarative grids, caching, parallel fan-out.
+
+The layer behind every sweep, figure and benchmark of the evaluation::
+
+    from repro.runner import ExperimentMatrix, ParallelRunner, ResultCache
+    from repro.sim.engine import ThermalMode
+
+    matrix = ExperimentMatrix(
+        workloads=("dijkstra", "patricia"),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM),
+    )
+    runner = ParallelRunner(workers=4, cache=ResultCache.from_env())
+    results = runner.run(matrix)          # re-running is near-free
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    payload_bytes,
+    payload_to_result,
+    result_bytes,
+    result_to_payload,
+)
+from repro.runner.execute import execute_spec, make_dtpm_governor
+from repro.runner.model_store import (
+    MODELS_FORMAT,
+    cached_build_models,
+    models_key,
+    models_to_payload,
+    payload_to_models,
+)
+from repro.runner.runner import (
+    ParallelRunner,
+    RunnerStats,
+    default_workers,
+    ensure_runner,
+)
+from repro.runner.spec import (
+    CACHE_FORMAT,
+    ExperimentMatrix,
+    RunSpec,
+    canonical_json,
+    model_fingerprint,
+    spec_key,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT",
+    "MODELS_FORMAT",
+    "CacheStats",
+    "cached_build_models",
+    "models_key",
+    "models_to_payload",
+    "payload_to_models",
+    "ExperimentMatrix",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSpec",
+    "RunnerStats",
+    "canonical_json",
+    "default_cache_dir",
+    "default_workers",
+    "ensure_runner",
+    "execute_spec",
+    "make_dtpm_governor",
+    "model_fingerprint",
+    "payload_bytes",
+    "payload_to_result",
+    "result_bytes",
+    "result_to_payload",
+    "spec_key",
+]

@@ -1,0 +1,192 @@
+"""Content-addressed result cache for closed-loop runs.
+
+Results are stored as canonical JSON under ``<root>/<key[:2]>/<key>.json``
+where ``key`` is the :func:`repro.runner.spec.spec_key` of the experiment.
+The rendering is deterministic (sorted keys, repr-round-tripped floats), so
+two equal :class:`RunResult` objects serialise to byte-identical payloads
+-- which is also how the test-suite checks serial and parallel execution
+agree.
+
+A cache without a root directory is an in-process memo (used by the
+benchmark harness when ``REPRO_CACHE_DIR`` is unset); with a root it
+persists across processes and CI jobs.  Writes are atomic (temp file +
+``os.replace``) so concurrent writers at worst waste a little work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.sim.run_result import RunResult, TraceRecorder
+
+#: Environment variable pointing the default cache at a shared directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def result_to_payload(result: RunResult) -> dict:
+    """Serialise a RunResult to a JSON-able payload (lossless for floats)."""
+    return {
+        "benchmark": result.benchmark,
+        "mode": result.mode,
+        "completed": result.completed,
+        "execution_time_s": result.execution_time_s,
+        "average_platform_power_w": result.average_platform_power_w,
+        "energy_j": result.energy_j,
+        "interventions": result.interventions,
+        "violations_predicted": result.violations_predicted,
+        "cluster_migrations": result.cluster_migrations,
+        "cores_offlined": result.cores_offlined,
+        "notes": list(result.notes),
+        "trace": {
+            "columns": result.trace.columns,
+            "rows": result.trace.rows(),
+        },
+    }
+
+
+def payload_to_result(payload: dict) -> RunResult:
+    """Rebuild a RunResult from :func:`result_to_payload` output."""
+    trace = TraceRecorder.from_rows(
+        payload["trace"]["columns"], payload["trace"]["rows"]
+    )
+    return RunResult(
+        benchmark=payload["benchmark"],
+        mode=payload["mode"],
+        completed=payload["completed"],
+        execution_time_s=payload["execution_time_s"],
+        average_platform_power_w=payload["average_platform_power_w"],
+        energy_j=payload["energy_j"],
+        trace=trace,
+        interventions=payload["interventions"],
+        violations_predicted=payload["violations_predicted"],
+        cluster_migrations=payload["cluster_migrations"],
+        cores_offlined=payload["cores_offlined"],
+        notes=list(payload["notes"]),
+    )
+
+
+def payload_bytes(payload: dict) -> bytes:
+    """Canonical byte rendering (the unit of byte-identity comparisons)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def result_bytes(result: RunResult) -> bytes:
+    """Canonical byte rendering of a result."""
+    return payload_bytes(result_to_payload(result))
+
+
+def default_cache_dir() -> Optional[str]:
+    """The shared cache directory, if ``REPRO_CACHE_DIR`` names one."""
+    path = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return path or None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one ResultCache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed RunResult store (in-memory + optional disk)."""
+
+    def __init__(self, root: Optional[str] = None, memory: bool = True) -> None:
+        if root is None and not memory:
+            raise SimulationError(
+                "a cache needs a root directory or the memory layer"
+            )
+        self.root = os.path.abspath(root) if root else None
+        # decoded results, so repeated in-process hits skip JSON parsing
+        # (callers share the object, like the old per-session run memo)
+        self._memory: Optional[Dict[str, RunResult]] = {} if memory else None
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls) -> "ResultCache":
+        """Disk-backed cache at ``$REPRO_CACHE_DIR``, else in-memory only."""
+        return cls(root=default_cache_dir())
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def _load_disk(self, key: str) -> Optional[RunResult]:
+        if self.root is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        try:
+            return payload_to_result(json.loads(blob.decode("utf-8")))
+        except (ValueError, KeyError, SimulationError):
+            # corrupt/stale entry: treat as a miss, let the writer replace it
+            return None
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None on a miss."""
+        if self._memory is not None and key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        result = self._load_disk(key)
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self._memory is not None:
+            self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a result under its content key."""
+        if self._memory is not None:
+            self._memory[key] = result
+        if self.root is not None:
+            blob = result_bytes(result)
+            path = self._path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self.stats.stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        if self._memory is not None and key in self._memory:
+            return True
+        return self.root is not None and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        """Number of distinct entries reachable from this cache."""
+        keys = set(self._memory or ())
+        if self.root is not None and os.path.isdir(self.root):
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if name.endswith(".json"):
+                        keys.add(name[: -len(".json")])
+        return len(keys)

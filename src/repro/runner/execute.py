@@ -1,0 +1,76 @@
+"""Executing one :class:`RunSpec` -- the runner's unit of work.
+
+This is the single place that turns a declarative spec into a configured
+:class:`Simulator`; the serial path, the process-pool workers and the
+legacy ``repro.sim.experiment`` helpers all funnel through it, which is
+what makes cached, serial and parallel execution byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SimulationConfig
+from repro.core.dtpm import DtpmGovernor
+from repro.platform.specs import PlatformSpec
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.models import ModelBundle, default_models
+from repro.sim.run_result import RunResult
+from repro.runner.spec import RunSpec
+
+
+def make_dtpm_governor(
+    models: Optional[ModelBundle] = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
+    guard_band_k: Optional[float] = None,
+) -> DtpmGovernor:
+    """Assemble a DTPM governor from a model bundle.
+
+    The power model is re-instantiated so each run starts with fresh
+    alpha*C estimators (the leakage fits are shared -- they are static
+    characterization products).
+    """
+    from repro.power.characterization import default_power_model
+
+    models = models or default_models()
+    spec = spec or PlatformSpec()
+    power = default_power_model(spec)
+    # carry over the characterized leakage fits
+    for resource, fitted in models.power.models.items():
+        power.models[resource].leakage = fitted.leakage
+    kwargs = {}
+    if guard_band_k is not None:
+        kwargs["guard_band_k"] = guard_band_k
+    return DtpmGovernor(models.thermal, power, spec=spec, config=config, **kwargs)
+
+
+def execute_spec(
+    spec: RunSpec, models: Optional[ModelBundle] = None
+) -> RunResult:
+    """Run one spec to completion.
+
+    Pure given (spec, models): equal inputs produce equal results, which is
+    the property the content-addressed cache and the parallel runner rely
+    on.
+    """
+    config = spec.config
+    dtpm = None
+    if spec.mode is ThermalMode.DTPM:
+        dtpm = make_dtpm_governor(
+            models,
+            spec=spec.platform,
+            config=config,
+            guard_band_k=spec.guard_band_k,
+        )
+    sim = Simulator(
+        spec.workload,
+        spec.mode,
+        dtpm=dtpm,
+        spec=spec.platform,
+        config=config,
+        warm_start_c=spec.warm_start_c,
+        max_duration_s=spec.max_duration_s,
+        seed=spec.seed,
+    )
+    return sim.run()

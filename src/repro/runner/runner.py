@@ -1,0 +1,196 @@
+"""Parallel, cache-aware execution of experiment grids.
+
+The :class:`ParallelRunner` takes an :class:`ExperimentMatrix` (or an
+explicit spec list), answers what it can from the content-addressed
+:class:`ResultCache`, and fans the remaining runs out over a
+``concurrent.futures.ProcessPoolExecutor``.  The identified model bundle
+is pickled once and shipped to each worker at pool start-up (re-building
+it costs ~10 s; the pickle is ~2 kB), and results come back in spec order
+regardless of scheduling, so serial and parallel execution are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.execute import execute_spec
+from repro.runner.spec import ExperimentMatrix, RunSpec, spec_key
+from repro.sim.models import ModelBundle, default_models
+from repro.sim.run_result import RunResult
+
+Experiments = Union[ExperimentMatrix, Sequence[RunSpec]]
+
+# Module-global model bundle of one pool worker (set by the initializer;
+# worker processes are single-purpose so a global is the cheapest channel).
+_WORKER_MODELS: Optional[ModelBundle] = None
+
+
+def _worker_init(models_blob: Optional[bytes]) -> None:
+    global _WORKER_MODELS
+    _WORKER_MODELS = (
+        pickle.loads(models_blob) if models_blob is not None else None
+    )
+
+
+def _worker_run(spec: RunSpec) -> RunResult:
+    return execute_spec(spec, models=_WORKER_MODELS)
+
+
+@dataclass
+class RunnerStats:
+    """What one ``run()`` call (or a runner lifetime) actually did."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cache_hits
+
+    def add(self, other: "RunnerStats") -> None:
+        self.executed += other.executed
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    def summary(self) -> str:
+        return "%d runs: %d executed, %d cache hits" % (
+            self.total,
+            self.executed,
+            self.cache_hits,
+        )
+
+
+def default_workers() -> int:
+    """Worker count when the caller asks for "parallel" without a number."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def ensure_runner(
+    runner: Optional["ParallelRunner"], models: Optional[ModelBundle]
+) -> "ParallelRunner":
+    """The caller's runner (adopting ``models`` if it has none) or a
+    serial, uncached default -- the shared policy of every high-level
+    entry point (sweeps, experiment helpers)."""
+    if runner is None:
+        return ParallelRunner(models=models)
+    runner.ensure_models(models)
+    return runner
+
+
+class ParallelRunner:
+    """Executes experiment grids with memoisation and process fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Process count for fan-out.  ``1`` (the default) runs in-process --
+        semantically identical, just serial.
+    cache:
+        Optional :class:`ResultCache`.  Without one every spec executes.
+    models:
+        Identified model bundle for DTPM specs.  Built on demand (once)
+        when needed and not supplied.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        models: Optional[ModelBundle] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+        self._models = models
+        #: Counters across this runner's lifetime.
+        self.stats = RunnerStats()
+        #: Counters of the most recent ``run()`` call.
+        self.last_stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def ensure_models(self, models: Optional[ModelBundle]) -> None:
+        """Adopt an already-built model bundle (no-op if one is set)."""
+        if self._models is None and models is not None:
+            self._models = models
+
+    def _resolve_models(self, specs: Sequence[RunSpec]) -> Optional[ModelBundle]:
+        if self._models is None and any(s.needs_models for s in specs):
+            self._models = default_models()
+        return self._models
+
+    @staticmethod
+    def _as_specs(experiments: Experiments) -> List[RunSpec]:
+        if isinstance(experiments, ExperimentMatrix):
+            return experiments.specs()
+        specs = list(experiments)
+        for s in specs:
+            if not isinstance(s, RunSpec):
+                raise ConfigurationError(
+                    "expected RunSpec, got %r" % type(s).__name__
+                )
+        return specs
+
+    # ------------------------------------------------------------------
+    def run(self, experiments: Experiments) -> List[RunResult]:
+        """Execute a matrix/spec list; results come back in spec order."""
+        specs = self._as_specs(experiments)
+        stats = RunnerStats()
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        models = self._resolve_models(specs)
+
+        keys: List[Optional[str]] = [None] * len(specs)
+        pending: List[int] = []
+        if self.cache is not None:
+            for i, spec in enumerate(specs):
+                key = spec_key(spec, models if spec.needs_models else None)
+                keys[i] = key
+                hit = self.cache.get(key)
+                if hit is None:
+                    stats.cache_misses += 1
+                    pending.append(i)
+                else:
+                    stats.cache_hits += 1
+                    results[i] = hit
+        else:
+            pending = list(range(len(specs)))
+
+        if pending:
+            fresh = self._execute([specs[i] for i in pending], models)
+            for i, result in zip(pending, fresh):
+                results[i] = result
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.put(keys[i], result)
+            stats.executed = len(pending)
+
+        self.last_stats = stats
+        self.stats.add(stats)
+        return [r for r in results if r is not None]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Convenience wrapper: execute a single spec."""
+        return self.run([spec])[0]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, specs: List[RunSpec], models: Optional[ModelBundle]
+    ) -> List[RunResult]:
+        if self.workers == 1 or len(specs) == 1:
+            return [execute_spec(spec, models=models) for spec in specs]
+        blob = pickle.dumps(models) if models is not None else None
+        max_workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(blob,),
+        ) as pool:
+            return list(pool.map(_worker_run, specs))

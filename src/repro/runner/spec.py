@@ -1,0 +1,270 @@
+"""Declarative experiment descriptions and their stable identities.
+
+A :class:`RunSpec` is everything needed to reproduce one closed-loop
+simulation: the workload, the Section-6.2 thermal configuration, the
+simulation knobs and the platform.  An :class:`ExperimentMatrix` is a
+declarative grid over those axes -- the shape behind every figure, table
+and ablation of the paper's evaluation -- and expands to an ordered list
+of specs with deterministic per-spec seeds.
+
+Both are frozen and hashable into a *stable content key* (:func:`spec_key`)
+so results can be cached on disk across processes: two specs with the same
+key describe byte-identical experiments, and the key additionally folds in
+a fingerprint of the controller's identified models
+(:func:`model_fingerprint`) because a DTPM run is only reproducible given
+the same (A, B) matrices and leakage fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.platform.specs import PlatformSpec
+from repro.sim.engine import ThermalMode
+from repro.sim.models import ModelBundle
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.trace import WorkloadTrace
+
+#: Bumped whenever the simulation semantics behind a cached result change
+#: in a way the spec itself cannot express (trace columns, engine fixes).
+CACHE_FORMAT = 1
+
+
+def _canonical(obj):
+    """Convert a spec-graph object to a canonical JSON-able structure.
+
+    Dataclasses become ``{"__class__": name, **fields}``, enums their value,
+    numpy scalars/arrays plain python, and dict keys are stringified so the
+    final ``json.dumps(..., sort_keys=True)`` is deterministic.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, enum.Enum):
+        return str(obj.value)
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return [_canonical(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(_canonical(k)): _canonical(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    raise ConfigurationError(
+        "cannot canonicalise %r for hashing" % type(obj).__name__
+    )
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON rendering of a canonicalised object graph."""
+    return json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def model_fingerprint(models: Optional[ModelBundle]) -> Optional[str]:
+    """Stable hash of the identified models a DTPM run depends on.
+
+    Covers the thermal state-space matrices and the characterized leakage
+    fits.  The dynamic alpha*C estimators are excluded deliberately: the
+    governor re-instantiates them fresh for every run, so they are part of
+    the execution, not of the inputs.
+    """
+    if models is None:
+        return None
+    thermal = models.thermal
+    material = {
+        "a": thermal.a,
+        "b": thermal.b,
+        "offset": thermal.offset,
+        "ts_s": thermal.ts_s,
+        "leakage": {
+            str(resource.value): model.leakage
+            for resource, model in models.power.models.items()
+        },
+    }
+    return _digest(canonical_json(material))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete, immutable description of one closed-loop simulation.
+
+    Every field feeds the execution; nothing presentational lives here, so
+    equal specs always produce byte-identical :class:`RunResult` payloads
+    (given the same models) and may share one cache entry.
+    """
+
+    workload: WorkloadTrace
+    mode: ThermalMode
+    config: Optional[SimulationConfig] = None
+    platform: Optional[PlatformSpec] = None
+    #: Override of the DTPM predictor's act-early margin (DTPM mode only).
+    guard_band_k: Optional[float] = None
+    warm_start_c: Optional[float] = 52.0
+    max_duration_s: float = 900.0
+    #: Overrides ``config.seed`` when set (the matrix derives these).
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.workload, WorkloadTrace):
+            raise ConfigurationError(
+                "workload must be a WorkloadTrace (got %r)"
+                % type(self.workload).__name__
+            )
+        if not isinstance(self.mode, ThermalMode):
+            raise ConfigurationError(
+                "mode must be a ThermalMode (got %r)" % (self.mode,)
+            )
+        if self.guard_band_k is not None and self.mode is not ThermalMode.DTPM:
+            raise ConfigurationError(
+                "guard_band_k only applies to DTPM runs (mode is %s)"
+                % self.mode
+            )
+        if self.max_duration_s <= 0:
+            raise ConfigurationError("max_duration_s must be positive")
+
+    @classmethod
+    def for_benchmark(cls, name: str, mode: ThermalMode, **kwargs) -> "RunSpec":
+        """Spec for a Table-6.4 benchmark looked up by name."""
+        return cls(workload=get_benchmark(name), mode=mode, **kwargs)
+
+    @property
+    def needs_models(self) -> bool:
+        """Whether executing this spec requires an identified ModelBundle."""
+        return self.mode is ThermalMode.DTPM
+
+    def describe(self) -> str:
+        """Short human-readable tag (for logs and progress lines)."""
+        extras = []
+        if self.guard_band_k is not None:
+            extras.append("gb=%.2fK" % self.guard_band_k)
+        if self.seed is not None:
+            extras.append("seed=%d" % self.seed)
+        suffix = (" [%s]" % ", ".join(extras)) if extras else ""
+        return "%s/%s%s" % (self.workload.name, self.mode.value, suffix)
+
+
+def spec_key(spec: RunSpec, models: Optional[ModelBundle] = None) -> str:
+    """Content-addressed identity of (spec, models, cache format).
+
+    The model fingerprint participates only when the spec actually consumes
+    the models, so fan-cooled baseline runs stay cache-valid across model
+    re-identification.
+    """
+    material = {
+        "format": CACHE_FORMAT,
+        "spec": spec,
+        "models": model_fingerprint(models) if spec.needs_models else None,
+    }
+    return _digest(canonical_json(material))
+
+
+WorkloadLike = Union[WorkloadTrace, str]
+
+
+def _resolve_workloads(
+    workloads: Sequence[WorkloadLike],
+) -> Tuple[WorkloadTrace, ...]:
+    resolved = []
+    for w in workloads:
+        resolved.append(get_benchmark(w) if isinstance(w, str) else w)
+    return tuple(resolved)
+
+
+@dataclass(frozen=True)
+class ExperimentMatrix:
+    """A declarative grid of simulations: the cartesian product of axes.
+
+    Expansion order is workload-major, then mode, config, guard band --
+    stable by construction, so per-spec seeds derived from ``base_seed``
+    are deterministic and independent of how the runner schedules work.
+    """
+
+    workloads: Tuple[WorkloadTrace, ...]
+    modes: Tuple[ThermalMode, ...] = (ThermalMode.DTPM,)
+    configs: Tuple[Optional[SimulationConfig], ...] = (None,)
+    guard_bands_k: Tuple[Optional[float], ...] = (None,)
+    platform: Optional[PlatformSpec] = None
+    warm_start_c: Optional[float] = 52.0
+    max_duration_s: float = 900.0
+    #: When set, spec ``i`` of the expansion runs with seed ``base_seed + i``;
+    #: when None every run uses its config's seed (the paper's default).
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workloads", _resolve_workloads(tuple(self.workloads))
+        )
+        object.__setattr__(self, "modes", tuple(self.modes))
+        object.__setattr__(self, "configs", tuple(self.configs))
+        object.__setattr__(self, "guard_bands_k", tuple(self.guard_bands_k))
+        for name in ("workloads", "modes", "configs", "guard_bands_k"):
+            if not getattr(self, name):
+                raise ConfigurationError("matrix axis %r is empty" % name)
+        if any(
+            gb is not None and m is not ThermalMode.DTPM
+            for gb in self.guard_bands_k
+            for m in self.modes
+        ):
+            raise ConfigurationError(
+                "guard-band axis requires all modes to be DTPM"
+            )
+
+    def __len__(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.modes)
+            * len(self.configs)
+            * len(self.guard_bands_k)
+        )
+
+    def specs(self) -> List[RunSpec]:
+        """Expand the grid into its ordered list of run specs."""
+        out: List[RunSpec] = []
+        index = 0
+        for workload in self.workloads:
+            for mode in self.modes:
+                for config in self.configs:
+                    for guard in self.guard_bands_k:
+                        seed = (
+                            None
+                            if self.base_seed is None
+                            else self.base_seed + index
+                        )
+                        out.append(
+                            RunSpec(
+                                workload=workload,
+                                mode=mode,
+                                config=config,
+                                platform=self.platform,
+                                guard_band_k=guard,
+                                warm_start_c=self.warm_start_c,
+                                max_duration_s=self.max_duration_s,
+                                seed=seed,
+                            )
+                        )
+                        index += 1
+        return out
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs())

@@ -16,14 +16,13 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.core.dtpm import DtpmGovernor
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.governors.base import LoadSample, PlatformConfig
 from repro.governors.idle import IdleGovernor
 from repro.governors.ondemand import OndemandGovernor
 from repro.governors.reactive import ReactiveThrottleGovernor
 from repro.platform.board import OdroidBoard
 from repro.platform.specs import (
-    CLUSTER_MIGRATION_PENALTY_S,
     HOTPLUG_PENALTY_S,
     PlatformSpec,
     Resource,
@@ -54,8 +53,8 @@ class Simulator:
         workload: WorkloadTrace,
         mode: ThermalMode,
         dtpm: Optional[DtpmGovernor] = None,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         warm_start_c: Optional[float] = 52.0,
         max_duration_s: float = 900.0,
         seed: Optional[int] = None,

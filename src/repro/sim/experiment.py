@@ -4,6 +4,11 @@
 ``compare_modes`` produces a full row of the evaluation (default-with-fan
 vs. without-fan vs. reactive heuristic vs. proposed DTPM); and
 ``dtpm_vs_default`` yields the Fig. 6.9 comparison rows.
+
+All three are thin wrappers over :mod:`repro.runner`: they build
+:class:`~repro.runner.RunSpec` grids and execute them through a
+:class:`~repro.runner.ParallelRunner`, so callers can opt into process
+fan-out and content-addressed result caching by passing their own runner.
 """
 
 from __future__ import annotations
@@ -11,10 +16,11 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import SimulationConfig
-from repro.core.dtpm import DtpmGovernor
 from repro.platform.specs import PlatformSpec
-from repro.power.characterization import default_power_model
-from repro.sim.engine import Simulator, ThermalMode
+from repro.runner.execute import execute_spec, make_dtpm_governor
+from repro.runner.runner import ParallelRunner, ensure_runner
+from repro.runner.spec import RunSpec
+from repro.sim.engine import ThermalMode
 from repro.sim.metrics import (
     ComparisonRow,
     performance_loss_pct,
@@ -24,120 +30,109 @@ from repro.sim.models import ModelBundle, default_models
 from repro.sim.run_result import RunResult
 from repro.workloads.trace import WorkloadTrace
 
-
-def make_dtpm_governor(
-    models: ModelBundle = None,
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
-) -> DtpmGovernor:
-    """Assemble a DTPM governor from a model bundle.
-
-    The power model is re-instantiated so each run starts with fresh
-    alpha*C estimators (the leakage fits are shared -- they are static
-    characterization products).
-    """
-    models = models or default_models()
-    spec = spec or PlatformSpec()
-    power = default_power_model(spec)
-    # carry over the characterized leakage fits
-    for resource, fitted in models.power.models.items():
-        power.models[resource].leakage = fitted.leakage
-    return DtpmGovernor(models.thermal, power, spec=spec, config=config)
+__all__ = [
+    "make_dtpm_governor",
+    "run_benchmark",
+    "compare_modes",
+    "dtpm_vs_default",
+    "comparison_row",
+]
 
 
 def run_benchmark(
     workload: WorkloadTrace,
     mode: ThermalMode,
-    models: ModelBundle = None,
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
+    models: Optional[ModelBundle] = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
     seed: Optional[int] = None,
 ) -> RunResult:
     """Run one benchmark under one thermal-management configuration."""
-    dtpm = None
-    if mode is ThermalMode.DTPM:
-        dtpm = make_dtpm_governor(models, spec, config)
-    sim = Simulator(
-        workload,
-        mode,
-        dtpm=dtpm,
-        spec=spec,
+    run_spec = RunSpec(
+        workload=workload,
+        mode=mode,
         config=config,
+        platform=spec,
         warm_start_c=warm_start_c,
         max_duration_s=max_duration_s,
         seed=seed,
     )
-    return sim.run()
+    return execute_spec(run_spec, models=models)
 
 
 def compare_modes(
     workload: WorkloadTrace,
     modes: Sequence[ThermalMode] = tuple(ThermalMode),
-    models: ModelBundle = None,
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
+    models: Optional[ModelBundle] = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[ThermalMode, RunResult]:
     """Run one benchmark under several configurations."""
     if any(m is ThermalMode.DTPM for m in modes) and models is None:
         models = default_models()
-    return {
-        mode: run_benchmark(
-            workload,
-            mode,
-            models=models,
-            spec=spec,
+    specs = [
+        RunSpec(
+            workload=workload,
+            mode=mode,
             config=config,
+            platform=spec,
             warm_start_c=warm_start_c,
             max_duration_s=max_duration_s,
         )
         for mode in modes
-    }
+    ]
+    results = ensure_runner(runner, models).run(specs)
+    return dict(zip(modes, results))
+
+
+def comparison_row(
+    workload: WorkloadTrace, base: RunResult, dtpm: RunResult
+) -> ComparisonRow:
+    """One Fig.-6.9 row from a (baseline, DTPM) result pair."""
+    return ComparisonRow(
+        benchmark=workload.name,
+        category=workload.category,
+        power_savings_pct=power_savings_pct(base, dtpm),
+        performance_loss_pct=performance_loss_pct(base, dtpm),
+        baseline_power_w=base.average_platform_power_w,
+        dtpm_power_w=dtpm.average_platform_power_w,
+        baseline_time_s=base.execution_time_s,
+        dtpm_time_s=dtpm.execution_time_s,
+    )
 
 
 def dtpm_vs_default(
     workloads: Iterable[WorkloadTrace],
-    models: ModelBundle = None,
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
+    models: Optional[ModelBundle] = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[ComparisonRow]:
     """The Fig. 6.9 sweep: DTPM against the fan-cooled default."""
     models = models or default_models()
+    workloads = list(workloads)
+    specs = [
+        RunSpec(
+            workload=workload,
+            mode=mode,
+            config=config,
+            platform=spec,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        for workload in workloads
+        for mode in (ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM)
+    ]
+    results = ensure_runner(runner, models).run(specs)
     rows: List[ComparisonRow] = []
-    for workload in workloads:
-        base = run_benchmark(
-            workload,
-            ThermalMode.DEFAULT_WITH_FAN,
-            models=models,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        dtpm = run_benchmark(
-            workload,
-            ThermalMode.DTPM,
-            models=models,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        rows.append(
-            ComparisonRow(
-                benchmark=workload.name,
-                category=workload.category,
-                power_savings_pct=power_savings_pct(base, dtpm),
-                performance_loss_pct=performance_loss_pct(base, dtpm),
-                baseline_power_w=base.average_platform_power_w,
-                dtpm_power_w=dtpm.average_platform_power_w,
-                baseline_time_s=base.execution_time_s,
-                dtpm_time_s=dtpm.execution_time_s,
-            )
-        )
+    for i, workload in enumerate(workloads):
+        base, dtpm = results[2 * i], results[2 * i + 1]
+        rows.append(comparison_row(workload, base, dtpm))
     return rows

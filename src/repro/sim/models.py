@@ -9,6 +9,8 @@ process and shared by tests, examples and benchmarks.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -30,8 +32,8 @@ class ModelBundle:
 
 
 def build_models(
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
     prbs_duration_s: float = 1050.0,
     run_furnace: bool = False,
     method: str = "structured",

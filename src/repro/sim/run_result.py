@@ -8,7 +8,6 @@ from typing import Dict, List
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.units import KELVIN_OFFSET
 
 
 class TraceRecorder:
@@ -23,6 +22,26 @@ class TraceRecorder:
     @property
     def columns(self) -> List[str]:
         return list(self._columns)
+
+    @classmethod
+    def from_rows(
+        cls, columns: List[str], rows: List[List[float]]
+    ) -> "TraceRecorder":
+        """Rebuild a recorder from serialised (columns, rows) data."""
+        recorder = cls(columns)
+        width = len(recorder._columns)
+        for row in rows:
+            if len(row) != width:
+                raise SimulationError(
+                    "row width %d does not match %d columns"
+                    % (len(row), width)
+                )
+            recorder._rows.append([float(v) for v in row])
+        return recorder
+
+    def rows(self) -> List[List[float]]:
+        """All recorded rows (column order matches :attr:`columns`)."""
+        return [list(row) for row in self._rows]
 
     def append(self, **values: float) -> None:
         """Record one row; every declared column must be present."""

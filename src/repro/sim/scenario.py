@@ -28,8 +28,8 @@ class ScenarioRunner:
         self,
         mode: ThermalMode,
         dtpm: Optional[DtpmGovernor] = None,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         initial_temp_c: float = 35.0,
         idle_gap_s: float = 0.0,
         max_duration_s: float = 900.0,

@@ -4,19 +4,25 @@ Utilities behind the ablation benchmarks: sweep a single knob (thermal
 constraint, prediction horizon, guard band, identification method, sensor
 noise) while holding everything else at the paper's defaults, and collect
 the regulation/power/performance outcome per point.
+
+Each sweep is a thin wrapper over :mod:`repro.runner`: it declares the
+knob's axis as an :class:`~repro.runner.ExperimentMatrix` and hands it to
+a :class:`~repro.runner.ParallelRunner`.  Pass a runner with workers > 1
+and/or a result cache to fan the points out over processes and make
+repeated sweeps near-free; the default is serial, uncached in-process
+execution (identical results either way).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.config import SimulationConfig
-from repro.core.dtpm import DtpmGovernor
-from repro.errors import ConfigurationError
 from repro.platform.specs import PlatformSpec
-from repro.sim.engine import Simulator, ThermalMode
-from repro.sim.experiment import make_dtpm_governor
+from repro.runner.runner import ParallelRunner, ensure_runner
+from repro.runner.spec import ExperimentMatrix
+from repro.sim.engine import ThermalMode
 from repro.sim.models import ModelBundle
 from repro.sim.run_result import RunResult
 from repro.workloads.trace import WorkloadTrace
@@ -49,117 +55,120 @@ def _evaluate(
     )
 
 
+def _run_matrix(
+    matrix: ExperimentMatrix,
+    models: ModelBundle,
+    runner: Optional[ParallelRunner],
+) -> List[RunResult]:
+    return ensure_runner(runner, models).run(matrix)
+
+
 def sweep_constraint(
     workload: WorkloadTrace,
     constraints_c: Sequence[float],
     models: ModelBundle,
-    spec: PlatformSpec = None,
+    spec: Optional[PlatformSpec] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Run the DTPM at several temperature constraints."""
-    points = []
-    for constraint in constraints_c:
-        config = SimulationConfig(t_constraint_c=constraint)
-        governor = make_dtpm_governor(models, spec=spec, config=config)
-        sim = Simulator(
-            workload,
-            ThermalMode.DTPM,
-            dtpm=governor,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        points.append(_evaluate(sim.run(), constraint, constraint))
-    return points
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DTPM,),
+        configs=tuple(
+            SimulationConfig(t_constraint_c=c) for c in constraints_c
+        ),
+        platform=spec,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+    )
+    results = _run_matrix(matrix, models, runner)
+    return [
+        _evaluate(result, constraint, constraint)
+        for constraint, result in zip(constraints_c, results)
+    ]
 
 
 def sweep_horizon(
     workload: WorkloadTrace,
     horizons_steps: Sequence[int],
     models: ModelBundle,
-    spec: PlatformSpec = None,
+    spec: Optional[PlatformSpec] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Run the DTPM with several prediction horizons (paper default: 10)."""
-    points = []
-    for horizon in horizons_steps:
-        if horizon < 1:
-            raise ConfigurationError("horizon must be >= 1")
-        config = SimulationConfig(prediction_horizon_steps=horizon)
-        governor = make_dtpm_governor(models, spec=spec, config=config)
-        sim = Simulator(
-            workload,
-            ThermalMode.DTPM,
-            dtpm=governor,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        points.append(
-            _evaluate(sim.run(), config.t_constraint_c, float(horizon))
-        )
-    return points
+    # SimulationConfig validates horizon >= 1 (ConfigurationError otherwise)
+    configs = tuple(
+        SimulationConfig(prediction_horizon_steps=h) for h in horizons_steps
+    )
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DTPM,),
+        configs=configs,
+        platform=spec,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+    )
+    results = _run_matrix(matrix, models, runner)
+    return [
+        _evaluate(result, config.t_constraint_c, float(horizon))
+        for horizon, config, result in zip(horizons_steps, configs, results)
+    ]
 
 
 def sweep_guard_band(
     workload: WorkloadTrace,
     guard_bands_k: Sequence[float],
     models: ModelBundle,
-    spec: PlatformSpec = None,
+    spec: Optional[PlatformSpec] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Run the DTPM with several predictor guard bands."""
-    from repro.power.characterization import default_power_model
-
-    points = []
     config = SimulationConfig()
-    spec = spec or PlatformSpec()
-    for guard in guard_bands_k:
-        power = default_power_model(spec)
-        for resource, fitted in models.power.models.items():
-            power.models[resource].leakage = fitted.leakage
-        governor = DtpmGovernor(
-            models.thermal, power, spec=spec, config=config, guard_band_k=guard
-        )
-        sim = Simulator(
-            workload,
-            ThermalMode.DTPM,
-            dtpm=governor,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        points.append(_evaluate(sim.run(), config.t_constraint_c, guard))
-    return points
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DTPM,),
+        configs=(config,),
+        guard_bands_k=tuple(guard_bands_k),
+        platform=spec,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+    )
+    results = _run_matrix(matrix, models, runner)
+    return [
+        _evaluate(result, config.t_constraint_c, guard)
+        for guard, result in zip(guard_bands_k, results)
+    ]
 
 
 def sweep_sensor_noise(
     workload: WorkloadTrace,
     noise_levels_c: Sequence[float],
     models: ModelBundle,
-    spec: PlatformSpec = None,
+    spec: Optional[PlatformSpec] = None,
     warm_start_c: float = 52.0,
     max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
     """Run the DTPM under increasing thermal-sensor noise."""
-    points = []
-    for noise in noise_levels_c:
-        config = SimulationConfig(temp_sensor_noise_c=noise)
-        governor = make_dtpm_governor(models, spec=spec, config=config)
-        sim = Simulator(
-            workload,
-            ThermalMode.DTPM,
-            dtpm=governor,
-            spec=spec,
-            config=config,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        points.append(_evaluate(sim.run(), config.t_constraint_c, noise))
-    return points
+    configs = tuple(
+        SimulationConfig(temp_sensor_noise_c=n) for n in noise_levels_c
+    )
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DTPM,),
+        configs=configs,
+        platform=spec,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+    )
+    results = _run_matrix(matrix, models, runner)
+    return [
+        _evaluate(result, config.t_constraint_c, noise)
+        for noise, config, result in zip(noise_levels_c, configs, results)
+    ]

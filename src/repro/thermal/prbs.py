@@ -13,7 +13,7 @@ thermal dynamics (seconds) rather than the control period (100 ms).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ simulation is unconditionally stable regardless of node time constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import expm

@@ -12,7 +12,7 @@ Setting ``d = 0`` recovers the paper's exact equations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,7 +39,7 @@ class DiscreteThermalModel:
 
     a: np.ndarray
     b: np.ndarray
-    offset: np.ndarray = None
+    offset: Optional[np.ndarray] = None
     ts_s: float = 0.1
 
     def __post_init__(self) -> None:

@@ -17,8 +17,9 @@ per-resource estimator are provided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -67,8 +68,8 @@ class PrbsExperiment:
 
     def __init__(
         self,
-        spec: PlatformSpec = None,
-        config: SimulationConfig = None,
+        spec: Optional[PlatformSpec] = None,
+        config: Optional[SimulationConfig] = None,
         duration_s: float = 1050.0,
         chip_s: float = 2.0,
         prbs_order: int = 9,
@@ -90,7 +91,12 @@ class PrbsExperiment:
         # ground-truth plant), so a module-level import would be circular.
         from repro.platform.board import OdroidBoard
 
-        config = self.config.with_(seed=self.seed + hash(resource.value) % 1000)
+        # zlib.crc32, not hash(): str hashing is randomised per process
+        # (PYTHONHASHSEED), which would identify a slightly different model
+        # in every interpreter and defeat cross-process result caching.
+        config = self.config.with_(
+            seed=self.seed + zlib.crc32(resource.value.encode("ascii")) % 1000
+        )
         board = OdroidBoard(self.spec, config, fan_enabled=False)
         board.warm_start(hotspot_c=config.ambient_c + 12.0)
 
@@ -388,8 +394,8 @@ class SystemIdentifier:
 
 
 def identify_default_model(
-    spec: PlatformSpec = None,
-    config: SimulationConfig = None,
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
     duration_s: float = 1050.0,
     staged: bool = False,
 ) -> DiscreteThermalModel:

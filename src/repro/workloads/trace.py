@@ -13,7 +13,7 @@ the burst structure real applications show.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.errors import WorkloadError
 

@@ -1,4 +1,8 @@
-"""Shared fixtures: expensive model building happens once per session."""
+"""Shared fixtures: expensive model building happens once per session.
+
+Set ``REPRO_CACHE_DIR`` to persist the identified models across sessions
+(and CI jobs); unset, every session builds them once, as before.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +11,8 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.platform.specs import PlatformSpec
-from repro.sim.models import ModelBundle, build_models
+from repro.runner import cached_build_models
+from repro.sim.models import ModelBundle
 
 
 @pytest.fixture(scope="session")
@@ -25,7 +30,7 @@ def config() -> SimulationConfig:
 @pytest.fixture(scope="session")
 def models() -> ModelBundle:
     """Characterized + identified model bundle (built once per session)."""
-    return build_models()
+    return cached_build_models()
 
 
 @pytest.fixture()

@@ -5,10 +5,9 @@ verify that what the procedure recovers matches what the silicon actually
 does -- without ever reading the hidden constants directly.
 """
 
-import numpy as np
 import pytest
 
-from repro.platform.specs import LEAKAGE_SPECS, PlatformSpec, Resource
+from repro.platform.specs import LEAKAGE_SPECS, Resource
 from repro.power.characterization import (
     DEFAULT_SETPOINTS_C,
     FurnaceRig,

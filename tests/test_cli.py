@@ -48,3 +48,52 @@ def test_compare_command(capsys, models):
     out = capsys.readouterr().out
     assert "with_fan" in out and "dtpm" in out
     assert "savings %" in out
+
+
+def _seed_model_store(root, models):
+    """Pre-populate the on-disk model store so CLI tests skip the build."""
+    import json
+
+    from repro.runner import models_key, models_to_payload
+
+    path = root / "models" / (models_key() + ".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(models_to_payload(models)))
+
+
+def test_matrix_command_caches_runs(capsys, tmp_path):
+    args = [
+        "matrix",
+        "--benchmarks", "dijkstra",
+        "--modes", "with_fan,without_fan",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "2 executed, 0 cache hits" in out
+    # second invocation answers entirely from the cache
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 executed, 2 cache hits" in out
+    assert "dijkstra" in out and "without_fan" in out
+
+
+def test_sweep_command_through_model_store(capsys, tmp_path, models):
+    _seed_model_store(tmp_path, models)
+    args = [
+        "sweep", "constraint",
+        "--benchmark", "dijkstra",
+        "--values", "60,66",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "constraint sweep on dijkstra" in out
+    assert "2 executed, 0 cache hits" in out
+    assert main(args) == 0
+    assert "0 executed, 2 cache hits" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_knob():
+    with pytest.raises(SystemExit):
+        main(["sweep", "voltage"])

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SimulationConfig
 from repro.core.dtpm import DtpmGovernor
 from repro.governors.base import PlatformConfig
 from repro.platform.board import SensorSnapshot

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SimulationConfig
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.models import build_models

@@ -1,9 +1,6 @@
 """Engine edge paths: hotplug victim selection, penalties, idle governor."""
 
-import numpy as np
-import pytest
 
-from repro.governors.base import PlatformConfig
 from repro.platform.cluster import CpuCluster
 from repro.platform.specs import (
     BIG_CORE,

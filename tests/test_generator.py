@@ -5,7 +5,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.workloads.generator import synthesize
 from repro.workloads.multithreaded import fft_mt, lu_mt, matrix_mult_mt
-from repro.workloads.trace import CATEGORY_HIGH, CATEGORY_LOW, CATEGORY_MEDIUM
+from repro.workloads.trace import CATEGORY_HIGH, CATEGORY_LOW
 
 
 def test_synthesis_is_deterministic():

@@ -1,0 +1,215 @@
+"""The experiment runner: matrix expansion, determinism, fan-out."""
+
+import os
+import time
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ExperimentMatrix,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    execute_spec,
+    result_bytes,
+    spec_key,
+)
+from repro.sim.engine import ThermalMode
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthesize("high", 18.0, threads=4, seed=6)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+def test_spec_validation(workload):
+    with pytest.raises(ConfigurationError):
+        RunSpec(workload="dijkstra", mode=ThermalMode.DTPM)  # not a trace
+    with pytest.raises(ConfigurationError):
+        RunSpec(workload=workload, mode="dtpm")
+    with pytest.raises(ConfigurationError):
+        # guard band is a DTPM-only knob
+        RunSpec(
+            workload=workload,
+            mode=ThermalMode.DEFAULT_WITH_FAN,
+            guard_band_k=0.5,
+        )
+    with pytest.raises(ConfigurationError):
+        RunSpec(workload=workload, mode=ThermalMode.NO_FAN, max_duration_s=0)
+
+
+def test_spec_for_benchmark_resolves_names():
+    spec = RunSpec.for_benchmark("dijkstra", ThermalMode.NO_FAN)
+    assert spec.workload is get_benchmark("dijkstra")
+    assert "dijkstra/without_fan" in spec.describe()
+
+
+# ---------------------------------------------------------------------------
+# ExperimentMatrix
+# ---------------------------------------------------------------------------
+def test_matrix_expansion_order_and_seeds(workload):
+    configs = (SimulationConfig(), SimulationConfig(t_constraint_c=60.0))
+    matrix = ExperimentMatrix(
+        workloads=(workload, "dijkstra"),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN),
+        configs=configs,
+        base_seed=500,
+    )
+    specs = matrix.specs()
+    assert len(matrix) == len(specs) == 8
+    # workload-major, then mode, then config; seeds count up in that order
+    assert [s.seed for s in specs] == list(range(500, 508))
+    assert specs[0].workload is workload and specs[-1].workload.name == "dijkstra"
+    assert specs[0].mode is ThermalMode.DEFAULT_WITH_FAN
+    assert specs[1].config.t_constraint_c == 60.0
+    # expansion is deterministic
+    assert specs == matrix.specs()
+
+
+def test_matrix_without_base_seed_leaves_config_seed(workload):
+    matrix = ExperimentMatrix(workloads=(workload,))
+    assert all(s.seed is None for s in matrix)
+
+
+def test_matrix_rejects_empty_axes(workload):
+    with pytest.raises(ConfigurationError):
+        ExperimentMatrix(workloads=())
+    with pytest.raises(ConfigurationError):
+        ExperimentMatrix(workloads=(workload,), modes=())
+    with pytest.raises(ConfigurationError):
+        # guard bands on a non-DTPM axis make no sense
+        ExperimentMatrix(
+            workloads=(workload,),
+            modes=(ThermalMode.NO_FAN,),
+            guard_bands_k=(0.5,),
+        )
+
+
+# ---------------------------------------------------------------------------
+# spec_key
+# ---------------------------------------------------------------------------
+def test_spec_key_stable_and_discriminating(workload, models):
+    a = RunSpec(workload=workload, mode=ThermalMode.NO_FAN)
+    assert spec_key(a) == spec_key(a)
+    # execution-relevant changes move the key
+    b = RunSpec(workload=workload, mode=ThermalMode.NO_FAN, seed=1)
+    c = RunSpec(
+        workload=workload,
+        mode=ThermalMode.NO_FAN,
+        config=SimulationConfig(t_constraint_c=60.0),
+    )
+    assert len({spec_key(a), spec_key(b), spec_key(c)}) == 3
+    # baseline runs ignore the models; DTPM runs fold the fingerprint in
+    assert spec_key(a, models) == spec_key(a, None)
+    d = RunSpec(workload=workload, mode=ThermalMode.DTPM)
+    assert spec_key(d, models) != spec_key(d, None)
+
+
+# ---------------------------------------------------------------------------
+# ParallelRunner
+# ---------------------------------------------------------------------------
+def test_serial_and_parallel_results_byte_identical(workload):
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN),
+        configs=(SimulationConfig(), SimulationConfig(ambient_c=28.0)),
+        base_seed=9,
+    )
+    serial = ParallelRunner(workers=1).run(matrix)
+    parallel = ParallelRunner(workers=2).run(matrix)
+    assert [result_bytes(r) for r in serial] == [
+        result_bytes(r) for r in parallel
+    ]
+    assert [r.benchmark for r in serial] == [
+        s.workload.name for s in matrix.specs()
+    ]
+
+
+def test_parallel_dtpm_matches_serial(workload, models):
+    # warm-start near the constraint so the controller actually intervenes
+    specs = [
+        RunSpec(workload=workload, mode=ThermalMode.DTPM, warm_start_c=58.0),
+        RunSpec(
+            workload=workload,
+            mode=ThermalMode.DTPM,
+            warm_start_c=58.0,
+            guard_band_k=3.0,
+        ),
+    ]
+    serial = ParallelRunner(workers=1, models=models).run(specs)
+    parallel = ParallelRunner(workers=2, models=models).run(specs)
+    assert [result_bytes(r) for r in serial] == [
+        result_bytes(r) for r in parallel
+    ]
+    # the guard band is actually honoured (different controller behaviour)
+    assert result_bytes(serial[0]) != result_bytes(serial[1])
+
+
+def test_second_invocation_executes_nothing(tmp_path, workload):
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN),
+    )
+    first = ParallelRunner(cache=ResultCache(root=str(tmp_path)))
+    res1 = first.run(matrix)
+    assert first.last_stats.executed == 2
+    assert first.last_stats.cache_hits == 0
+
+    # fresh runner, fresh process-independent cache view: zero executions
+    second = ParallelRunner(cache=ResultCache(root=str(tmp_path)))
+    res2 = second.run(matrix)
+    assert second.last_stats.executed == 0
+    assert second.last_stats.cache_hits == 2
+    assert [result_bytes(r) for r in res1] == [result_bytes(r) for r in res2]
+
+
+def test_runner_rejects_bad_inputs(workload):
+    with pytest.raises(ConfigurationError):
+        ParallelRunner(workers=0)
+    with pytest.raises(ConfigurationError):
+        ParallelRunner().run([workload])  # not a RunSpec
+
+
+def test_run_one_equals_execute_spec(workload):
+    spec = RunSpec(workload=workload, mode=ThermalMode.NO_FAN)
+    assert result_bytes(ParallelRunner().run_one(spec)) == result_bytes(
+        execute_spec(spec)
+    )
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):  # Linux only
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < 4,
+    reason="needs >= 4 CPUs for a meaningful wall-clock comparison",
+)
+def test_parallel_beats_serial_wall_clock(workload):
+    # the acceptance bar: 4 workers beat serial on an 8-point sweep
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.NO_FAN,),
+        configs=tuple(
+            SimulationConfig(ambient_c=20.0 + i) for i in range(8)
+        ),
+    )
+    t0 = time.perf_counter()
+    serial = ParallelRunner(workers=1).run(matrix)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = ParallelRunner(workers=4).run(matrix)
+    t_parallel = time.perf_counter() - t0
+    assert [result_bytes(r) for r in serial] == [
+        result_bytes(r) for r in parallel
+    ]
+    assert t_parallel < t_serial

@@ -1,0 +1,152 @@
+"""Result cache + model store: round trips, invalidation, env wiring."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.runner import (
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+    cached_build_models,
+    model_fingerprint,
+    models_key,
+    models_to_payload,
+    payload_to_models,
+    payload_to_result,
+    result_bytes,
+    result_to_payload,
+    spec_key,
+)
+from repro.sim.engine import ThermalMode
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthesize("medium", 12.0, threads=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def result(workload):
+    return ParallelRunner().run_one(
+        RunSpec(workload=workload, mode=ThermalMode.NO_FAN)
+    )
+
+
+# ---------------------------------------------------------------------------
+# payload round trip
+# ---------------------------------------------------------------------------
+def test_result_payload_round_trip_is_lossless(result):
+    clone = payload_to_result(
+        json.loads(result_bytes(result).decode("utf-8"))
+    )
+    assert result_bytes(clone) == result_bytes(result)
+    assert clone.benchmark == result.benchmark
+    assert clone.trace.columns == result.trace.columns
+    assert clone.peak_temp_c() == result.peak_temp_c()
+    assert clone.times_s().tolist() == result.times_s().tolist()
+
+
+def test_payload_rejects_malformed_trace(result):
+    payload = result_to_payload(result)
+    payload["trace"]["rows"] = [[1.0, 2.0]]  # wrong width
+    with pytest.raises(SimulationError):
+        payload_to_result(payload)
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+def test_disk_cache_round_trip(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path))
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    assert cache.get(key) is None
+    cache.put(key, result)
+    assert key in cache
+    assert len(cache) == 1
+    # a second instance over the same directory sees the entry
+    other = ResultCache(root=str(tmp_path))
+    hit = other.get(key)
+    assert hit is not None and result_bytes(hit) == result_bytes(result)
+    assert other.stats.hits == 1
+
+
+def test_memory_only_cache(result):
+    cache = ResultCache()  # no root: in-process memo
+    cache.put("k", result)
+    assert cache.get("k") is not None
+    assert len(cache) == 1
+    with pytest.raises(SimulationError):
+        ResultCache(root=None, memory=False)
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    path = os.path.join(str(tmp_path), key[:2], key + ".json")
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    assert cache.get(key) is None  # miss, not an exception
+
+
+def test_from_env_honours_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared"))
+    cache = ResultCache.from_env()
+    assert cache.root == str(tmp_path / "shared")
+    monkeypatch.setenv("REPRO_CACHE_DIR", "")
+    assert ResultCache.from_env().root is None
+
+
+# ---------------------------------------------------------------------------
+# model fingerprint + store
+# ---------------------------------------------------------------------------
+def test_model_payload_round_trip_preserves_fingerprint(models):
+    clone = payload_to_models(models_to_payload(models))
+    assert model_fingerprint(clone) == model_fingerprint(models)
+    assert model_fingerprint(None) is None
+
+
+def test_models_key_depends_on_build_inputs():
+    default = models_key()
+    assert default == models_key()
+    assert models_key(method="staged") != default
+    assert models_key(prbs_duration_s=300.0) != default
+    assert models_key(config=SimulationConfig(ambient_c=30.0)) != default
+
+
+def test_cached_build_models_store(tmp_path, models, monkeypatch):
+    # seed the store from the session bundle to avoid a 10 s rebuild
+    key = models_key()
+    path = tmp_path / "models" / (key + ".json")
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps(models_to_payload(models)))
+    loaded = cached_build_models(root=str(tmp_path))
+    assert model_fingerprint(loaded) == model_fingerprint(models)
+    # and the env-var path resolves the same file
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert model_fingerprint(cached_build_models()) == model_fingerprint(models)
+
+
+def test_runner_cache_discriminates_models(tmp_path, workload, models):
+    """A DTPM result cached under one model set must miss under another."""
+    cache = ResultCache(root=str(tmp_path))
+    spec = RunSpec(workload=workload, mode=ThermalMode.DTPM)
+    runner = ParallelRunner(cache=cache, models=models)
+    runner.run([spec])
+    assert runner.last_stats.executed == 1
+
+    # perturb the identified thermal model -> different fingerprint
+    import dataclasses
+
+    perturbed = dataclasses.replace(
+        models, thermal=dataclasses.replace(models.thermal, ts_s=0.2)
+    )
+    other = ParallelRunner(cache=cache, models=perturbed)
+    other.run([spec])
+    assert other.last_stats.executed == 1  # miss: fingerprint changed
+    assert other.last_stats.cache_hits == 0

@@ -1,6 +1,5 @@
 """Scenario runner: consecutive benchmarks on one warm device."""
 
-import numpy as np
 import pytest
 
 from repro.config import SimulationConfig

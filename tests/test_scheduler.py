@@ -1,6 +1,5 @@
 """Load balancer: thread placement, rate-limited demand, work accounting."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

@@ -1,6 +1,5 @@
 """Platform specifications: OPP tables (Tables 6.1-6.3), voltage, leakage."""
 
-import math
 
 import pytest
 
@@ -15,7 +14,6 @@ from repro.platform.specs import (
     POWER_RESOURCES,
     BIG_LEAKAGE,
     CoreSpec,
-    LeakageSpec,
     OppTable,
     PlatformSpec,
     Resource,
