@@ -9,6 +9,8 @@ from repro.analysis.stats import (
     frequency_residency,
     regulation_quality,
     stability_stats,
+    stability_stats_streaming,
+    streaming_stability,
 )
 from repro.analysis.tables import benchmark_table, frequency_table, render_table
 
@@ -23,6 +25,8 @@ __all__ = [
     "frequency_residency",
     "regulation_quality",
     "stability_stats",
+    "stability_stats_streaming",
+    "streaming_stability",
     "benchmark_table",
     "frequency_table",
     "render_table",

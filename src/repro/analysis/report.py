@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import stability_stats
+from repro.analysis.stats import stability_stats_streaming
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.experiment import dtpm_vs_default, run_benchmark
 from repro.sim.metrics import overall_summary, summarize_categories
@@ -76,7 +76,8 @@ def _regulation_section(
             ThermalMode.DTPM,
         ):
             result = run_benchmark(workload, mode, models=models)
-            stats = stability_stats(result)
+            # incremental consumer pass -- no trace rows materialised
+            stats = stability_stats_streaming(result)
             lines.append(
                 "| %s | %s | %.1f | %.1f | %.1f |"
                 % (

@@ -9,10 +9,14 @@ Subcommands::
     python -m repro.cli suite              # the Fig. 6.9 sweep
     python -m repro.cli sweep KNOB         # one ablation knob sweep
     python -m repro.cli matrix             # benchmarks x modes grid
+    python -m repro.cli cache stats        # inspect the result cache
+    python -m repro.cli cache prune        # bound / empty the result cache
 
 ``suite``, ``sweep`` and ``matrix`` accept ``--workers N`` (process
 fan-out) and ``--cache-dir DIR`` (content-addressed result cache; defaults
 to ``$REPRO_CACHE_DIR`` when set), so repeated invocations are near-free.
+``matrix`` additionally takes ``--schedule A,B,...`` (repeatable) to run
+back-to-back app sequences with thermal-state carryover on the grid.
 Exposed as the ``repro-dtpm`` console script as well.
 """
 
@@ -31,6 +35,8 @@ from repro.runner import (
     ResultCache,
     cached_build_models,
     default_cache_dir,
+    disk_usage,
+    prune,
 )
 from repro.sim.engine import ThermalMode
 from repro.sim.experiment import (
@@ -262,8 +268,19 @@ def _cmd_sweep(args) -> int:
 def _cmd_matrix(args) -> int:
     from repro.errors import WorkloadError
 
+    schedules = tuple(
+        tuple(s.split(",")) for s in (args.schedule or ())
+    )
+    if args.idle_gap and not schedules:
+        print(
+            "error: --idle-gap only applies to --schedule sequences",
+            file=sys.stderr,
+        )
+        return 2
     benchmarks = (
-        args.benchmarks.split(",") if args.benchmarks else benchmark_names()
+        args.benchmarks.split(",")
+        if args.benchmarks
+        else ([] if schedules else benchmark_names())
     )
     mode_names = args.modes.split(",") if args.modes else list(_MODES)
     unknown = [m for m in mode_names if m not in _MODES]
@@ -276,8 +293,13 @@ def _cmd_matrix(args) -> int:
         return 2
     modes = tuple(_MODES[m] for m in mode_names)
     try:
-        matrix = ExperimentMatrix(workloads=tuple(benchmarks), modes=modes)
-    except WorkloadError as exc:
+        matrix = ExperimentMatrix(
+            workloads=tuple(benchmarks),
+            modes=modes,
+            schedules=schedules,
+            idle_gap_s=args.idle_gap,
+        )
+    except (WorkloadError, ConfigurationError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
     needs_models = any(m is ThermalMode.DTPM for m in modes)
@@ -286,7 +308,8 @@ def _cmd_matrix(args) -> int:
     )
     print(
         "Running a %dx%d experiment matrix (%d runs, %d workers)..."
-        % (len(benchmarks), len(modes), len(matrix), args.workers)
+        % (len(benchmarks) + len(schedules), len(modes), len(matrix),
+           args.workers)
     )
     results = runner.run(matrix)
     specs = matrix.specs()
@@ -296,7 +319,8 @@ def _cmd_matrix(args) -> int:
              "interventions"],
             [
                 [
-                    s.workload.name,
+                    s.workload.name
+                    + ("" if not s.history else " (pos %d)" % len(s.history)),
                     s.mode.value,
                     "%.1f" % r.execution_time_s,
                     "%.2f" % r.average_platform_power_w,
@@ -309,6 +333,50 @@ def _cmd_matrix(args) -> int:
         )
     )
     print(runner.last_stats.summary())
+    return 0
+
+
+def _cache_root(args) -> Optional[str]:
+    root = args.cache_dir
+    if not root:
+        print(
+            "error: no cache directory (pass --cache-dir or set "
+            "$REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return None
+    return root
+
+
+def _cmd_cache_stats(args) -> int:
+    root = _cache_root(args)
+    if root is None:
+        return 2
+    usage = disk_usage(root)
+    print("cache at %s" % usage.root)
+    print("  " + usage.summary())
+    if usage.orphan_blobs:
+        print(
+            "  %d orphaned trace blob(s) (interrupted writers); "
+            "run `repro-dtpm cache prune --max-mb ...` to collect"
+            % usage.orphan_blobs
+        )
+    for note in usage.notes:
+        print("  note: %s" % note)
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    root = _cache_root(args)
+    if root is None:
+        return 2
+    max_bytes = None if args.all else int(args.max_mb * 2**20)
+    removed, freed = prune(root, max_bytes=max_bytes)
+    print(
+        "pruned %d entr%s, freed %.1f MiB"
+        % (removed, "y" if removed == 1 else "ies", freed / 2**20)
+    )
+    print("  now: " + disk_usage(root).summary())
     return 0
 
 
@@ -389,11 +457,39 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix", help="run a benchmarks x modes experiment matrix"
     )
     p_mat.add_argument("--benchmarks",
-                       help="comma-separated benchmark names (default: all)")
+                       help="comma-separated benchmark names (default: all, "
+                            "or none when --schedule is given)")
     p_mat.add_argument("--modes",
                        help="comma-separated modes (default: all four)")
+    p_mat.add_argument("--schedule", action="append", metavar="B1,B2,...",
+                       help="back-to-back benchmark sequence run with "
+                            "thermal-state carryover (repeatable)")
+    p_mat.add_argument("--idle-gap", type=float, default=0.0,
+                       help="idle seconds between schedule runs (default: 0)")
     _add_runner_args(p_mat)
     p_mat.set_defaults(func=_cmd_matrix)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or bound the content-addressed result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats", help="entry counts and byte footprint of the store"
+    )
+    p_cstats.add_argument("--cache-dir", default=default_cache_dir(),
+                          help="cache directory (default: $REPRO_CACHE_DIR)")
+    p_cstats.set_defaults(func=_cmd_cache_stats)
+    p_cprune = cache_sub.add_parser(
+        "prune", help="evict result entries (oldest first) to bound the store"
+    )
+    p_cprune.add_argument("--cache-dir", default=default_cache_dir(),
+                          help="cache directory (default: $REPRO_CACHE_DIR)")
+    bound = p_cprune.add_mutually_exclusive_group(required=True)
+    bound.add_argument("--max-mb", type=float,
+                       help="evict oldest entries until under this many MiB")
+    bound.add_argument("--all", action="store_true",
+                       help="remove every result entry (models are kept)")
+    p_cprune.set_defaults(func=_cmd_cache_prune)
 
     p_rep = sub.add_parser("report", help="write a markdown evaluation report")
     p_rep.add_argument("--output", default="dtpm_report.md")

@@ -14,16 +14,29 @@ The layer behind every sweep, figure and benchmark of the evaluation::
 """
 
 from repro.runner.cache import (
+    ARTIFACT_FORMAT,
     CACHE_DIR_ENV,
     CacheStats,
+    DiskUsage,
     ResultCache,
+    TRACE_BLOB_SUFFIX,
     default_cache_dir,
+    disk_usage,
+    load_trace_blob,
     payload_bytes,
     payload_to_result,
+    prune,
     result_bytes,
     result_to_payload,
+    result_to_summary,
+    summary_to_result,
+    trace_blob_bytes,
 )
-from repro.runner.execute import execute_spec, make_dtpm_governor
+from repro.runner.execute import (
+    execute_schedule,
+    execute_spec,
+    make_dtpm_governor,
+)
 from repro.runner.model_store import (
     MODELS_FORMAT,
     cached_build_models,
@@ -47,10 +60,20 @@ from repro.runner.spec import (
 )
 
 __all__ = [
+    "ARTIFACT_FORMAT",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT",
     "MODELS_FORMAT",
     "CacheStats",
+    "DiskUsage",
+    "TRACE_BLOB_SUFFIX",
+    "disk_usage",
+    "execute_schedule",
+    "load_trace_blob",
+    "prune",
+    "result_to_summary",
+    "summary_to_result",
+    "trace_blob_bytes",
     "cached_build_models",
     "models_key",
     "models_to_payload",

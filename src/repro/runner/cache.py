@@ -1,11 +1,24 @@
 """Content-addressed result cache for closed-loop runs.
 
-Results are stored as canonical JSON under ``<root>/<key[:2]>/<key>.json``
-where ``key`` is the :func:`repro.runner.spec.spec_key` of the experiment.
-The rendering is deterministic (sorted keys, repr-round-tripped floats), so
-two equal :class:`RunResult` objects serialise to byte-identical payloads
--- which is also how the test-suite checks serial and parallel execution
-agree.
+Entries live under ``<root>/<key[:2]>/`` where ``key`` is the
+:func:`repro.runner.spec.spec_key` of the experiment.  Two artifact
+layouts coexist:
+
+* **v1** (legacy): one ``<key>.json`` holding the whole result including
+  every trace row as canonical JSON.  Still read transparently; no new
+  v1 entries are written.
+* **v2** (current): a small ``<key>.json`` *summary* (scalars +
+  ``"artifact": 2`` + trace shape) next to a ``<key>.npz`` binary trace
+  blob -- the summary is written last and is the commit point.  The blob
+  stores the ``(rows, columns)`` float64 matrix uncompressed, so loading
+  is a single binary read (or a memory map via ``mmap=True``) and the
+  round trip is numerically exact by construction.
+
+The v1 JSON rendering remains the canonical *byte-identity* unit
+(:func:`result_bytes`): deterministic (sorted keys, repr-round-tripped
+floats), so two equal :class:`RunResult` objects serialise to
+byte-identical payloads -- which is also how the test-suite checks
+serial, parallel and cached execution agree.
 
 A cache without a root directory is an in-process memo (used by the
 benchmark harness when ``REPRO_CACHE_DIR`` is unset); with a root it
@@ -15,17 +28,32 @@ persists across processes and CI jobs.  Writes are atomic (temp file +
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
 import tempfile
-from dataclasses import dataclass
-from typing import Dict, Optional
+import time
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.sim.run_result import RunResult, TraceRecorder
 
 #: Environment variable pointing the default cache at a shared directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Version tag of the on-disk artifact layout written by this code.
+ARTIFACT_FORMAT = 2
+
+#: Suffix of the binary trace blob sitting next to a v2 summary.
+TRACE_BLOB_SUFFIX = ".npz"
+
+#: Name of the trace matrix inside the npz container.
+TRACE_MEMBER = "data"
 
 
 def result_to_payload(result: RunResult) -> dict:
@@ -82,6 +110,113 @@ def result_bytes(result: RunResult) -> bytes:
     return payload_bytes(result_to_payload(result))
 
 
+# ---------------------------------------------------------------------------
+# v2 artifacts: summary JSON + binary trace blob
+# ---------------------------------------------------------------------------
+def result_to_summary(result: RunResult) -> dict:
+    """The v2 summary payload: everything except the trace rows."""
+    return {
+        "artifact": ARTIFACT_FORMAT,
+        "benchmark": result.benchmark,
+        "mode": result.mode,
+        "completed": result.completed,
+        "execution_time_s": result.execution_time_s,
+        "average_platform_power_w": result.average_platform_power_w,
+        "energy_j": result.energy_j,
+        "interventions": result.interventions,
+        "violations_predicted": result.violations_predicted,
+        "cluster_migrations": result.cluster_migrations,
+        "cores_offlined": result.cores_offlined,
+        "notes": list(result.notes),
+        "trace": {
+            "columns": result.trace.columns,
+            "length": len(result.trace),
+        },
+    }
+
+
+def summary_to_result(payload: dict, trace_data: np.ndarray) -> RunResult:
+    """Rebuild a RunResult from a v2 summary and its trace matrix."""
+    meta = payload["trace"]
+    if trace_data.shape != (int(meta["length"]), len(meta["columns"])):
+        raise SimulationError(
+            "trace blob shape %s does not match summary %s x %d"
+            % (trace_data.shape, meta["length"], len(meta["columns"]))
+        )
+    trace = TraceRecorder.from_array(meta["columns"], trace_data)
+    return RunResult(
+        benchmark=payload["benchmark"],
+        mode=payload["mode"],
+        completed=payload["completed"],
+        execution_time_s=payload["execution_time_s"],
+        average_platform_power_w=payload["average_platform_power_w"],
+        energy_j=payload["energy_j"],
+        trace=trace,
+        interventions=payload["interventions"],
+        violations_predicted=payload["violations_predicted"],
+        cluster_migrations=payload["cluster_migrations"],
+        cores_offlined=payload["cores_offlined"],
+        notes=list(payload["notes"]),
+    )
+
+
+def trace_blob_bytes(result: RunResult) -> bytes:
+    """The uncompressed npz rendering of a result's trace matrix."""
+    buf = io.BytesIO()
+    np.savez(buf, **{TRACE_MEMBER: result.trace.array()})
+    return buf.getvalue()
+
+
+def _mmap_npz_member(path: str, name: str) -> np.ndarray:
+    """Memory-map one *stored* (uncompressed) member of an npz file.
+
+    ``np.savez`` writes plain ``.npy`` payloads into a STORED zip, so the
+    array bytes sit contiguously in the file; after parsing the npy
+    header we can hand the data region to ``np.memmap`` directly.
+    Raises on compressed/unsupported layouts -- callers fall back to an
+    eager load.
+    """
+    with zipfile.ZipFile(path) as zf:
+        info = zf.getinfo(name)
+        if info.compress_type != zipfile.ZIP_STORED:
+            raise SimulationError("npz member %r is compressed" % name)
+    with open(path, "rb") as fh:
+        fh.seek(info.header_offset)
+        local = fh.read(30)
+        if local[:4] != b"PK\x03\x04":
+            raise SimulationError("bad local zip header in %s" % path)
+        name_len, extra_len = struct.unpack("<HH", local[26:30])
+        fh.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            raise SimulationError("unsupported npy version %r" % (version,))
+        offset = fh.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def load_trace_blob(path: str, mmap: bool = False) -> np.ndarray:
+    """Load (or memory-map) the trace matrix of a v2 blob file."""
+    if mmap:
+        try:
+            return _mmap_npz_member(path, TRACE_MEMBER + ".npy")
+        except (OSError, ValueError, KeyError, SimulationError,
+                zipfile.BadZipFile):
+            pass  # fall back to an eager load below
+    with np.load(path) as npz:
+        return npz[TRACE_MEMBER]
+
+
 def default_cache_dir() -> Optional[str]:
     """The shared cache directory, if ``REPRO_CACHE_DIR`` names one."""
     path = os.environ.get(CACHE_DIR_ENV, "").strip()
@@ -98,14 +233,26 @@ class CacheStats:
 
 
 class ResultCache:
-    """Content-addressed RunResult store (in-memory + optional disk)."""
+    """Content-addressed RunResult store (in-memory + optional disk).
 
-    def __init__(self, root: Optional[str] = None, memory: bool = True) -> None:
+    ``mmap=True`` memory-maps v2 trace blobs on read instead of loading
+    them eagerly -- suite-scale consumers that only touch a column or two
+    of each trace then never pull whole blobs into memory.  Mapped traces
+    are read-only views; appending to them copies first.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        memory: bool = True,
+        mmap: bool = False,
+    ) -> None:
         if root is None and not memory:
             raise SimulationError(
                 "a cache needs a root directory or the memory layer"
             )
         self.root = os.path.abspath(root) if root else None
+        self.mmap = mmap
         # decoded results, so repeated in-process hits skip JSON parsing
         # (callers share the object, like the old per-session run memo)
         self._memory: Optional[Dict[str, RunResult]] = {} if memory else None
@@ -121,6 +268,10 @@ class ResultCache:
         assert self.root is not None
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _blob_path(self, key: str) -> str:
+        assert self.root is not None
+        return os.path.join(self.root, key[:2], key + TRACE_BLOB_SUFFIX)
+
     def _load_disk(self, key: str) -> Optional[RunResult]:
         if self.root is None:
             return None
@@ -130,8 +281,14 @@ class ResultCache:
         except OSError:
             return None
         try:
-            return payload_to_result(json.loads(blob.decode("utf-8")))
-        except (ValueError, KeyError, SimulationError):
+            payload = json.loads(blob.decode("utf-8"))
+            if payload.get("artifact") == ARTIFACT_FORMAT:
+                data = load_trace_blob(self._blob_path(key), mmap=self.mmap)
+                return summary_to_result(payload, data)
+            # v1 entry: whole trace inline as JSON rows
+            return payload_to_result(payload)
+        except (OSError, ValueError, KeyError, SimulationError,
+                zipfile.BadZipFile):
             # corrupt/stale entry: treat as a miss, let the writer replace it
             return None
 
@@ -150,27 +307,31 @@ class ResultCache:
             self._memory[key] = result
         return result
 
+    @staticmethod
+    def _atomic_write(path: str, blob: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     def put(self, key: str, result: RunResult) -> None:
-        """Store a result under its content key."""
+        """Store a result under its content key (v2 artifact layout)."""
         if self._memory is not None:
             self._memory[key] = result
         if self.root is not None:
-            blob = result_bytes(result)
             path = self._path(key)
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, path)
-            except OSError:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            # trace blob first, summary JSON last: the summary is the
+            # commit point, so readers never see a summary without a blob
+            self._atomic_write(self._blob_path(key), trace_blob_bytes(result))
+            self._atomic_write(path, payload_bytes(result_to_summary(result)))
         self.stats.stores += 1
 
     def __contains__(self, key: str) -> bool:
@@ -182,11 +343,171 @@ class ResultCache:
         """Number of distinct entries reachable from this cache."""
         keys = set(self._memory or ())
         if self.root is not None and os.path.isdir(self.root):
-            for shard in os.listdir(self.root):
-                shard_dir = os.path.join(self.root, shard)
-                if not os.path.isdir(shard_dir):
-                    continue
-                for name in os.listdir(shard_dir):
-                    if name.endswith(".json"):
-                        keys.add(name[: -len(".json")])
+            for _, json_path, _blob in _iter_entries(self.root):
+                keys.add(os.path.basename(json_path)[: -len(".json")])
         return len(keys)
+
+
+# ---------------------------------------------------------------------------
+# disk store inspection and bounding (the `repro-dtpm cache` subcommand)
+# ---------------------------------------------------------------------------
+@dataclass
+class DiskUsage:
+    """What one on-disk cache directory holds."""
+
+    root: str
+    entries: int = 0
+    v2_entries: int = 0
+    result_bytes: int = 0
+    blob_bytes: int = 0
+    model_entries: int = 0
+    model_bytes: int = 0
+    orphan_blobs: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def v1_entries(self) -> int:
+        return self.entries - self.v2_entries
+
+    @property
+    def total_bytes(self) -> int:
+        return self.result_bytes + self.blob_bytes + self.model_bytes
+
+    def summary(self) -> str:
+        return (
+            "%d results (%d v1 json, %d v2 json+npz), %d models, "
+            "%.1f MiB total (%.1f MiB trace blobs)"
+            % (
+                self.entries,
+                self.v1_entries,
+                self.v2_entries,
+                self.model_entries,
+                self.total_bytes / 2**20,
+                self.blob_bytes / 2**20,
+            )
+        )
+
+
+def _iter_entries(root: str) -> Iterator[Tuple[str, str, Optional[str]]]:
+    """Yield (key, json_path, blob_path-or-None) for every result entry."""
+    for shard in sorted(os.listdir(root)):
+        shard_dir = os.path.join(root, shard)
+        if shard == "models" or not os.path.isdir(shard_dir):
+            continue
+        for name in sorted(os.listdir(shard_dir)):
+            if not name.endswith(".json"):
+                continue
+            key = name[: -len(".json")]
+            blob = os.path.join(shard_dir, key + TRACE_BLOB_SUFFIX)
+            yield key, os.path.join(shard_dir, name), (
+                blob if os.path.exists(blob) else None
+            )
+
+
+def disk_usage(root: str) -> DiskUsage:
+    """Inspect an on-disk cache directory (results, blobs, models)."""
+    root = os.path.abspath(root)
+    usage = DiskUsage(root=root)
+    if not os.path.isdir(root):
+        usage.notes.append("directory does not exist")
+        return usage
+    json_names = set()
+    for key, json_path, blob_path in _iter_entries(root):
+        usage.entries += 1
+        usage.result_bytes += os.path.getsize(json_path)
+        json_names.add(key)
+        if blob_path is not None:
+            usage.v2_entries += 1
+            usage.blob_bytes += os.path.getsize(blob_path)
+    # blobs whose summary never landed (interrupted writers)
+    for shard in sorted(os.listdir(root)):
+        shard_dir = os.path.join(root, shard)
+        if shard == "models" or not os.path.isdir(shard_dir):
+            continue
+        for name in sorted(os.listdir(shard_dir)):
+            if (
+                name.endswith(TRACE_BLOB_SUFFIX)
+                and name[: -len(TRACE_BLOB_SUFFIX)] not in json_names
+            ):
+                usage.orphan_blobs += 1
+                usage.blob_bytes += os.path.getsize(
+                    os.path.join(shard_dir, name)
+                )
+    models_dir = os.path.join(root, "models")
+    if os.path.isdir(models_dir):
+        for name in sorted(os.listdir(models_dir)):
+            if name.endswith(".json"):
+                usage.model_entries += 1
+                usage.model_bytes += os.path.getsize(
+                    os.path.join(models_dir, name)
+                )
+    return usage
+
+
+#: A blob without a summary younger than this is assumed to belong to an
+#: in-flight put() (blob lands first, summary is the commit point) and is
+#: left alone; older ones are interrupted-writer debris.
+ORPHAN_GRACE_S = 300.0
+
+
+def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
+    """Bound the result store; returns (entries removed, bytes freed).
+
+    Result entries are evicted oldest-access-first (file mtime) until the
+    result+blob footprint fits ``max_bytes``.  Passing ``None`` removes
+    **every** result entry -- it is deliberately not a default so the
+    full wipe is always an explicit choice (the CLI's ``--all``).
+    Orphaned trace blobs older than :data:`ORPHAN_GRACE_S` are always
+    collected; younger ones may belong to a concurrent writer whose
+    summary has not landed yet.  The model store (``<root>/models``) is
+    never touched -- models are tiny and cost ~10 s to rebuild.
+    """
+    root = os.path.abspath(root)
+    if not os.path.isdir(root):
+        return 0, 0
+    removed = 0
+    freed = 0
+    entries = []
+    known = set()
+    for key, json_path, blob_path in _iter_entries(root):
+        size = os.path.getsize(json_path)
+        mtime = os.path.getmtime(json_path)
+        if blob_path is not None:
+            size += os.path.getsize(blob_path)
+        entries.append((mtime, size, json_path, blob_path))
+        known.add(key)
+    # interrupted writers leave blobs without a summary: collect the stale
+    # ones (recent ones may still get their summary -- see put())
+    now = time.time()
+    for shard in sorted(os.listdir(root)):
+        shard_dir = os.path.join(root, shard)
+        if shard == "models" or not os.path.isdir(shard_dir):
+            continue
+        for name in sorted(os.listdir(shard_dir)):
+            if (
+                name.endswith(TRACE_BLOB_SUFFIX)
+                and name[: -len(TRACE_BLOB_SUFFIX)] not in known
+            ):
+                path = os.path.join(shard_dir, name)
+                try:
+                    if now - os.path.getmtime(path) < ORPHAN_GRACE_S:
+                        continue
+                    blob_size = os.path.getsize(path)
+                    os.unlink(path)
+                except OSError:
+                    continue  # a writer committed or removed it meanwhile
+                freed += blob_size
+                removed += 1
+    total = sum(size for _, size, _, _ in entries)
+    budget = -1 if max_bytes is None else max_bytes
+    for mtime, size, json_path, blob_path in sorted(entries):
+        if budget >= 0 and total <= budget:
+            break
+        # summary first so a concurrent reader can never resurrect the entry
+        os.unlink(json_path)
+        if blob_path is not None:
+            os.unlink(blob_path)
+        total -= size
+        freed += size
+        removed += 1
+    return removed, freed

@@ -8,7 +8,7 @@ what makes cached, serial and parallel execution byte-identical.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.config import SimulationConfig
 from repro.core.dtpm import DtpmGovernor
@@ -16,6 +16,7 @@ from repro.platform.specs import PlatformSpec
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.models import ModelBundle, default_models
 from repro.sim.run_result import RunResult
+from repro.sim.scenario import ScenarioRunner
 from repro.runner.spec import RunSpec
 
 
@@ -52,8 +53,12 @@ def execute_spec(
 
     Pure given (spec, models): equal inputs produce equal results, which is
     the property the content-addressed cache and the parallel runner rely
-    on.
+    on.  A spec with scenario ``history`` simulates the whole sequence and
+    returns the final position's result (use :func:`execute_schedule` to
+    harvest every position).
     """
+    if spec.history:
+        return execute_schedule(spec, models)[-1]
     config = spec.config
     dtpm = None
     if spec.mode is ThermalMode.DTPM:
@@ -74,3 +79,39 @@ def execute_spec(
         seed=spec.seed,
     )
     return sim.run()
+
+
+def execute_schedule(
+    spec: RunSpec, models: Optional[ModelBundle] = None
+) -> List[RunResult]:
+    """Run a spec's full scenario chain; result ``i`` is ``spec.chain()[i]``'s.
+
+    Thermal state carries across the sequence through a
+    :class:`ScenarioRunner` on one platform instance.  Position ``i``'s
+    result is byte-identical whether that position is executed standalone
+    (as its own chain) or harvested from a longer schedule, because the
+    simulation up to position ``i`` is the same either way -- that is what
+    lets every position share one content-addressed cache entry.
+    """
+    if not spec.history:
+        return [execute_spec(spec, models)]
+    dtpm = None
+    if spec.mode is ThermalMode.DTPM:
+        dtpm = make_dtpm_governor(
+            models,
+            spec=spec.platform,
+            config=spec.config,
+            guard_band_k=spec.guard_band_k,
+        )
+    scenario = ScenarioRunner(
+        spec.mode,
+        dtpm=dtpm,
+        spec=spec.platform,
+        config=spec.config,
+        initial_temp_c=spec.warm_start_c,
+        idle_gap_s=spec.idle_gap_s,
+        max_duration_s=spec.max_duration_s,
+        base_seed=spec.seed,
+        annotate=False,
+    )
+    return scenario.run(list(spec.schedule))

@@ -16,11 +16,11 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.runner.cache import ResultCache
-from repro.runner.execute import execute_spec
+from repro.runner.execute import execute_schedule
 from repro.runner.spec import ExperimentMatrix, RunSpec, spec_key
 from repro.sim.models import ModelBundle, default_models
 from repro.sim.run_result import RunResult
@@ -39,8 +39,9 @@ def _worker_init(models_blob: Optional[bytes]) -> None:
     )
 
 
-def _worker_run(spec: RunSpec) -> RunResult:
-    return execute_spec(spec, models=_WORKER_MODELS)
+def _worker_run(spec: RunSpec) -> List[RunResult]:
+    # one result per chain position (a single-element list for plain specs)
+    return execute_schedule(spec, models=_WORKER_MODELS)
 
 
 @dataclass
@@ -139,6 +140,9 @@ class ParallelRunner:
                 )
         return specs
 
+    def _key(self, spec: RunSpec, models: Optional[ModelBundle]) -> str:
+        return spec_key(spec, models if spec.needs_models else None)
+
     # ------------------------------------------------------------------
     def run(self, experiments: Experiments) -> List[RunResult]:
         """Execute a matrix/spec list; results come back in spec order."""
@@ -148,12 +152,16 @@ class ParallelRunner:
 
         models = self._resolve_models(specs)
 
+        # content keys identify results in the cache AND let scheduled
+        # specs that are chain prefixes of one another share executions
+        need_keys = self.cache is not None or any(s.history for s in specs)
         keys: List[Optional[str]] = [None] * len(specs)
+        if need_keys:
+            keys = [self._key(spec, models) for spec in specs]
+
         pending: List[int] = []
         if self.cache is not None:
-            for i, spec in enumerate(specs):
-                key = spec_key(spec, models if spec.needs_models else None)
-                keys[i] = key
+            for i, key in enumerate(keys):
                 hit = self.cache.get(key)
                 if hit is None:
                     stats.cache_misses += 1
@@ -165,11 +173,29 @@ class ParallelRunner:
             pending = list(range(len(specs)))
 
         if pending:
-            fresh = self._execute([specs[i] for i in pending], models)
-            for i, result in zip(pending, fresh):
-                results[i] = result
-                if self.cache is not None and keys[i] is not None:
-                    self.cache.put(keys[i], result)
+            if need_keys:
+                jobs = self._plan_jobs(specs, keys, pending, models)
+                produced: Dict[str, RunResult] = {}
+                for job, chain_results in zip(
+                    jobs, self._execute([specs[i] for i in jobs], models)
+                ):
+                    for pos_spec, pos_result in zip(
+                        specs[job].chain(), chain_results
+                    ):
+                        pos_key = self._key(pos_spec, models)
+                        produced[pos_key] = pos_result
+                        if self.cache is not None:
+                            # every harvested position is cached, even ones
+                            # nobody asked for -- free warm-up for later grids
+                            self.cache.put(pos_key, pos_result)
+                for i in pending:
+                    results[i] = produced[keys[i]]
+            else:
+                for i, chain_results in zip(
+                    pending,
+                    self._execute([specs[i] for i in pending], models),
+                ):
+                    results[i] = chain_results[-1]
             stats.executed = len(pending)
 
         self.last_stats = stats
@@ -181,11 +207,50 @@ class ParallelRunner:
         return self.run([spec])[0]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _plan_jobs(
+        specs: List[RunSpec],
+        keys: List[str],
+        pending: List[int],
+        models: Optional[ModelBundle],
+    ) -> List[int]:
+        """Pending indices worth executing: drop chain-prefix duplicates.
+
+        A scheduled spec simulates every earlier position of its sequence
+        on the way, so a pending spec whose key appears inside another
+        pending spec's chain rides along for free.  Longest chains are
+        planned first; plain specs are their own 1-element chain, which
+        also dedupes exact repeats within one call.
+        """
+        covered: set = set()
+        jobs: List[int] = []
+        for i in sorted(
+            pending, key=lambda i: len(specs[i].history), reverse=True
+        ):
+            if keys[i] in covered:
+                continue
+            jobs.append(i)
+            spec = specs[i]
+            if spec.history:
+                for pos_spec in spec.chain():
+                    covered.add(
+                        spec_key(
+                            pos_spec,
+                            models if pos_spec.needs_models else None,
+                        )
+                    )
+            else:
+                covered.add(keys[i])
+        # keep submission order deterministic and spec-ordered
+        jobs.sort()
+        return jobs
+
     def _execute(
         self, specs: List[RunSpec], models: Optional[ModelBundle]
-    ) -> List[RunResult]:
+    ) -> List[List[RunResult]]:
+        """Execute specs, returning each one's full chain of results."""
         if self.workers == 1 or len(specs) == 1:
-            return [execute_spec(spec, models=models) for spec in specs]
+            return [execute_schedule(spec, models=models) for spec in specs]
         blob = pickle.dumps(models) if models is not None else None
         max_workers = min(self.workers, len(specs))
         with ProcessPoolExecutor(

@@ -60,6 +60,14 @@ def _canonical(obj):
         out = {"__class__": type(obj).__name__}
         for f in dataclasses.fields(obj):
             out[f.name] = _canonical(getattr(obj, f.name))
+        # fields introduced after entries were already cached on disk are
+        # omitted at their default value, so pre-existing keys (and the v1
+        # artifacts stored under them) stay reachable
+        for name, default in getattr(
+            type(obj), "CANONICAL_OMIT_DEFAULTS", {}
+        ).items():
+            if name in out and out[name] == _canonical(default):
+                del out[name]
         return out
     if isinstance(obj, dict):
         return {str(_canonical(k)): _canonical(v) for k, v in obj.items()}
@@ -112,6 +120,16 @@ class RunSpec:
     Every field feeds the execution; nothing presentational lives here, so
     equal specs always produce byte-identical :class:`RunResult` payloads
     (given the same models) and may share one cache entry.
+
+    A spec with a non-empty ``history`` describes one position of a
+    *scenario schedule*: ``workload`` runs on a device that just executed
+    the ``history`` workloads back to back (thermal state carried across
+    runs by :class:`~repro.sim.scenario.ScenarioRunner`, with
+    ``idle_gap_s`` of near-idle cooling before each carried run).  The
+    spec's result is that of the **final** workload; :meth:`chain` names
+    the per-position specs of the whole sequence.  ``warm_start_c`` is
+    the device state before the first run of the sequence, and ``seed``
+    is the scenario's base seed (position ``i`` runs with ``seed + i``).
     """
 
     workload: WorkloadTrace
@@ -124,6 +142,14 @@ class RunSpec:
     max_duration_s: float = 900.0
     #: Overrides ``config.seed`` when set (the matrix derives these).
     seed: Optional[int] = None
+    #: Workloads that ran before this one on the same device (a scenario).
+    history: Tuple[WorkloadTrace, ...] = ()
+    #: Near-idle cooling gap before each carried run of a scenario.
+    idle_gap_s: float = 0.0
+
+    #: Omitted from the content key at their defaults so keys (and cached
+    #: artifacts) from before the scenario fields existed stay valid.
+    CANONICAL_OMIT_DEFAULTS = {"history": (), "idle_gap_s": 0.0}
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, WorkloadTrace):
@@ -142,6 +168,20 @@ class RunSpec:
             )
         if self.max_duration_s <= 0:
             raise ConfigurationError("max_duration_s must be positive")
+        object.__setattr__(self, "history", tuple(self.history))
+        for w in self.history:
+            if not isinstance(w, WorkloadTrace):
+                raise ConfigurationError(
+                    "history entries must be WorkloadTraces (got %r)"
+                    % type(w).__name__
+                )
+        if self.idle_gap_s < 0:
+            raise ConfigurationError("idle_gap_s must be >= 0")
+        if self.idle_gap_s and not self.history:
+            raise ConfigurationError(
+                "idle_gap_s only applies to scenario specs "
+                "(this spec has an empty history)"
+            )
 
     @classmethod
     def for_benchmark(cls, name: str, mode: ThermalMode, **kwargs) -> "RunSpec":
@@ -153,9 +193,38 @@ class RunSpec:
         """Whether executing this spec requires an identified ModelBundle."""
         return self.mode is ThermalMode.DTPM
 
+    @property
+    def schedule(self) -> Tuple[WorkloadTrace, ...]:
+        """The full workload sequence this spec's execution simulates."""
+        return self.history + (self.workload,)
+
+    def chain(self) -> List["RunSpec"]:
+        """Per-position specs of the schedule, last one being ``self``.
+
+        Executing the last position simulates every earlier one on the
+        way, so a runner that executes ``chain()[-1]`` can harvest (and
+        cache) all intermediate positions for free.
+        """
+        sequence = self.schedule
+        return [
+            dataclasses.replace(
+                self,
+                workload=w,
+                history=sequence[:i],
+                idle_gap_s=self.idle_gap_s if i else 0.0,
+            )
+            for i, w in enumerate(sequence)
+        ]
+
     def describe(self) -> str:
         """Short human-readable tag (for logs and progress lines)."""
         extras = []
+        if self.history:
+            extras.append(
+                "after %s" % "+".join(w.name for w in self.history)
+            )
+        if self.idle_gap_s:
+            extras.append("gap=%gs" % self.idle_gap_s)
         if self.guard_band_k is not None:
             extras.append("gb=%.2fK" % self.guard_band_k)
         if self.seed is not None:
@@ -198,18 +267,30 @@ class ExperimentMatrix:
     Expansion order is workload-major, then mode, config, guard band --
     stable by construction, so per-spec seeds derived from ``base_seed``
     are deterministic and independent of how the runner schedules work.
+
+    Beyond single workloads, the grid can carry *scenario schedules*:
+    back-to-back workload sequences executed on one warm device
+    (``schedules`` axis).  Each schedule expands to one spec **per
+    position** (so results come back per app, individually cached), and
+    all positions of a schedule share one derived seed -- the scenario's
+    base seed -- because they are one physical experiment.
     """
 
-    workloads: Tuple[WorkloadTrace, ...]
+    workloads: Tuple[WorkloadTrace, ...] = ()
     modes: Tuple[ThermalMode, ...] = (ThermalMode.DTPM,)
     configs: Tuple[Optional[SimulationConfig], ...] = (None,)
     guard_bands_k: Tuple[Optional[float], ...] = (None,)
     platform: Optional[PlatformSpec] = None
     warm_start_c: Optional[float] = 52.0
     max_duration_s: float = 900.0
-    #: When set, spec ``i`` of the expansion runs with seed ``base_seed + i``;
-    #: when None every run uses its config's seed (the paper's default).
+    #: When set, atom ``i`` of the expansion runs with seed ``base_seed + i``
+    #: (an atom is one workload or one whole schedule); when None every run
+    #: uses its config's seed (the paper's default).
     base_seed: Optional[int] = None
+    #: Back-to-back workload sequences (thermal state carried across runs).
+    schedules: Tuple[Tuple[WorkloadTrace, ...], ...] = ()
+    #: Near-idle cooling gap between consecutive runs of each schedule.
+    idle_gap_s: float = 0.0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -218,7 +299,21 @@ class ExperimentMatrix:
         object.__setattr__(self, "modes", tuple(self.modes))
         object.__setattr__(self, "configs", tuple(self.configs))
         object.__setattr__(self, "guard_bands_k", tuple(self.guard_bands_k))
-        for name in ("workloads", "modes", "configs", "guard_bands_k"):
+        object.__setattr__(
+            self,
+            "schedules",
+            tuple(
+                _resolve_workloads(tuple(schedule))
+                for schedule in self.schedules
+            ),
+        )
+        if any(not schedule for schedule in self.schedules):
+            raise ConfigurationError("schedules must not be empty sequences")
+        if self.idle_gap_s < 0:
+            raise ConfigurationError("idle_gap_s must be >= 0")
+        if not self.workloads and not self.schedules:
+            raise ConfigurationError("matrix axis 'workloads' is empty")
+        for name in ("modes", "configs", "guard_bands_k"):
             if not getattr(self, name):
                 raise ConfigurationError("matrix axis %r is empty" % name)
         if any(
@@ -230,9 +325,14 @@ class ExperimentMatrix:
                 "guard-band axis requires all modes to be DTPM"
             )
 
+    def _atoms(self) -> List[Tuple[WorkloadTrace, ...]]:
+        """Single workloads and schedules, uniformly as sequences."""
+        return [(w,) for w in self.workloads] + list(self.schedules)
+
     def __len__(self) -> int:
+        positions = sum(len(atom) for atom in self._atoms())
         return (
-            len(self.workloads)
+            positions
             * len(self.modes)
             * len(self.configs)
             * len(self.guard_bands_k)
@@ -242,7 +342,7 @@ class ExperimentMatrix:
         """Expand the grid into its ordered list of run specs."""
         out: List[RunSpec] = []
         index = 0
-        for workload in self.workloads:
+        for atom in self._atoms():
             for mode in self.modes:
                 for config in self.configs:
                     for guard in self.guard_bands_k:
@@ -251,18 +351,23 @@ class ExperimentMatrix:
                             if self.base_seed is None
                             else self.base_seed + index
                         )
-                        out.append(
-                            RunSpec(
-                                workload=workload,
-                                mode=mode,
-                                config=config,
-                                platform=self.platform,
-                                guard_band_k=guard,
-                                warm_start_c=self.warm_start_c,
-                                max_duration_s=self.max_duration_s,
-                                seed=seed,
+                        for k, workload in enumerate(atom):
+                            out.append(
+                                RunSpec(
+                                    workload=workload,
+                                    mode=mode,
+                                    config=config,
+                                    platform=self.platform,
+                                    guard_band_k=guard,
+                                    warm_start_c=self.warm_start_c,
+                                    max_duration_s=self.max_duration_s,
+                                    seed=seed,
+                                    history=atom[:k],
+                                    idle_gap_s=(
+                                        self.idle_gap_s if k else 0.0
+                                    ),
+                                )
                             )
-                        )
                         index += 1
         return out
 

@@ -1,5 +1,13 @@
 """Closed-loop simulation engine and experiment harness."""
 
+from repro.sim.consumers import (
+    RunningStats,
+    StreamingPower,
+    StreamingStability,
+    TraceConsumer,
+    ViolationCounter,
+    replay,
+)
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.experiment import (
     compare_modes,
@@ -12,8 +20,10 @@ from repro.sim.metrics import (
     overall_summary,
     performance_loss_pct,
     power_savings_pct,
+    settled_variance_streaming,
     summarize_categories,
     variance_reduction_factor,
+    variance_reduction_factor_streaming,
 )
 from repro.sim.models import ModelBundle, build_models, default_models
 from repro.sim.run_result import RunResult, TraceRecorder
@@ -22,12 +32,19 @@ from repro.sim.sweep import (
     sweep_constraint,
     sweep_guard_band,
     sweep_horizon,
+    sweep_idle_gap,
     sweep_sensor_noise,
 )
 from repro.sim.scenario import ScenarioRunner
 from repro.sim.scheduler import LoadBalancer, SchedulerOutput
 
 __all__ = [
+    "RunningStats",
+    "StreamingPower",
+    "StreamingStability",
+    "TraceConsumer",
+    "ViolationCounter",
+    "replay",
     "Simulator",
     "ThermalMode",
     "compare_modes",
@@ -38,8 +55,10 @@ __all__ = [
     "overall_summary",
     "performance_loss_pct",
     "power_savings_pct",
+    "settled_variance_streaming",
     "summarize_categories",
     "variance_reduction_factor",
+    "variance_reduction_factor_streaming",
     "ModelBundle",
     "build_models",
     "default_models",
@@ -49,6 +68,7 @@ __all__ = [
     "sweep_constraint",
     "sweep_guard_band",
     "sweep_horizon",
+    "sweep_idle_gap",
     "sweep_sensor_noise",
     "ScenarioRunner",
     "LoadBalancer",

@@ -1,0 +1,222 @@
+"""Streaming trace consumers: observe runs interval-by-interval.
+
+The :class:`Simulator` loop (and :class:`~repro.sim.scenario.ScenarioRunner`
+on its behalf) publishes every recorded interval to a list of
+:class:`TraceConsumer` observers, so monitoring, online metrics and report
+sections can aggregate incrementally instead of materialising whole traces
+after the fact.  The idiom follows mixed-domain co-simulation frameworks
+(observer objects registered with the engine, notified per step).
+
+Consumers see exactly what the trace records: a mapping from
+``RUN_COLUMNS`` names to the interval's values.  :func:`replay` feeds an
+already-recorded :class:`RunResult` through consumers, which is how cached
+results and freshly simulated ones share one aggregation code path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.run_result import RunResult
+
+
+class TraceConsumer:
+    """Base observer: subclass and override the hooks you need.
+
+    ``on_interval`` receives one mapping per control interval, keyed by the
+    recorder's column names (:data:`~repro.sim.run_result.RUN_COLUMNS` for
+    engine runs).  The mapping is shared with the recorder's append call --
+    treat it as read-only and do not hold a reference across intervals.
+    """
+
+    def on_run_start(
+        self, benchmark: str, mode: str, columns: Sequence[str]
+    ) -> None:
+        """Called once before the first interval of a run."""
+
+    def on_interval(self, values: Mapping[str, float]) -> None:
+        """Called after every recorded control interval."""
+
+    def on_run_end(self, result: RunResult) -> None:
+        """Called once with the finished run's result."""
+
+
+class ViolationCounter(TraceConsumer):
+    """Counts predicted violations and controller interventions."""
+
+    def __init__(self) -> None:
+        self.violations = 0
+        self.interventions = 0
+
+    def on_run_start(self, benchmark, mode, columns) -> None:
+        self.violations = 0
+        self.interventions = 0
+
+    def on_interval(self, values: Mapping[str, float]) -> None:
+        if values["violation_predicted"] > 0.5:
+            self.violations += 1
+        if values["intervened"] > 0.5:
+            self.interventions += 1
+
+
+class RunningStats:
+    """Incremental count/mean/variance/min/max (Welford's algorithm).
+
+    ``variance`` is the population variance, matching ``np.var`` over the
+    same samples.
+    """
+
+    __slots__ = ("count", "mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def push(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise SimulationError("no samples pushed")
+        return self._m2 / self.count
+
+    @property
+    def band(self) -> float:
+        """max - min of the pushed samples."""
+        if self.count == 0:
+            raise SimulationError("no samples pushed")
+        return self.max - self.min
+
+
+class StreamingStability(TraceConsumer):
+    """Online regulation-quality statistics of ``max_temp_c``.
+
+    Tracks the all-run peak plus settled-region statistics: every sample
+    with ``time_s >= first_time + skip_s`` feeds a :class:`RunningStats`,
+    which reproduces the post-hoc ``RunResult.temp_*`` metrics (same
+    settle rule as ``RunResult.settle_slice``, modulo its short-trace
+    clamp) without ever materialising the trace.
+
+    With ``constraint_c`` set it also accumulates the exceedance numbers
+    of :func:`repro.analysis.stats.regulation_quality`.
+    """
+
+    def __init__(
+        self, skip_s: float = 15.0, constraint_c: Optional[float] = None
+    ) -> None:
+        if skip_s < 0:
+            raise SimulationError("skip_s must be >= 0")
+        self.skip_s = skip_s
+        self.constraint_c = constraint_c
+        self._t0: Optional[float] = None
+        self.peak_c = -math.inf
+        self.settled = RunningStats()
+        self.exceedance = RunningStats()
+        self._over_count = 0
+        self._over_1c_count = 0
+
+    def on_run_start(self, benchmark, mode, columns) -> None:
+        self._t0 = None
+        self.peak_c = -math.inf
+        self.settled.reset()
+        self.exceedance.reset()
+        self._over_count = 0
+        self._over_1c_count = 0
+
+    def on_interval(self, values: Mapping[str, float]) -> None:
+        t = values["time_s"]
+        temp = values["max_temp_c"]
+        if self._t0 is None:
+            self._t0 = t
+        if temp > self.peak_c:
+            self.peak_c = temp
+        if t >= self._t0 + self.skip_s:
+            self.settled.push(temp)
+            if self.constraint_c is not None:
+                over = max(0.0, temp - self.constraint_c)
+                self.exceedance.push(over)
+                self._over_count += over > 0
+                self._over_1c_count += over > 1.0
+
+    # -- post-hoc-equivalent accessors ---------------------------------
+    @property
+    def average_temp_c(self) -> float:
+        return self.settled.mean
+
+    @property
+    def max_min_c(self) -> float:
+        return self.settled.band
+
+    @property
+    def variance_c2(self) -> float:
+        return self.settled.variance
+
+    def regulation_quality(self) -> Dict[str, float]:
+        """Constraint-exceedance summary over the settled region."""
+        if self.constraint_c is None:
+            raise SimulationError("constructed without a constraint_c")
+        n = self.exceedance.count
+        if n == 0:
+            raise SimulationError("no settled samples observed")
+        return {
+            "peak_exceedance_c": self.exceedance.max,
+            "mean_exceedance_c": self.exceedance.mean,
+            "fraction_over": self._over_count / n,
+            "fraction_over_1c": self._over_1c_count / n,
+        }
+
+
+class StreamingPower(TraceConsumer):
+    """Online mean platform power and per-rail means over the trace."""
+
+    RAILS = ("platform_power_w", "p_big_w", "p_little_w", "p_gpu_w", "p_mem_w")
+
+    def __init__(self) -> None:
+        self.rails = {r: RunningStats() for r in self.RAILS}
+
+    def on_run_start(self, benchmark, mode, columns) -> None:
+        for stats in self.rails.values():
+            stats.reset()
+
+    def on_interval(self, values: Mapping[str, float]) -> None:
+        for rail, stats in self.rails.items():
+            stats.push(values[rail])
+
+    def mean_w(self, rail: str = "platform_power_w") -> float:
+        return self.rails[rail].mean
+
+
+def replay(result: RunResult, consumers: Iterable[TraceConsumer]) -> None:
+    """Feed an already-recorded run through consumers.
+
+    Bridges cached/deserialised results into the streaming code path: the
+    consumers observe exactly the sequence of intervals a live simulation
+    would have published, followed by ``on_run_end(result)``.
+    """
+    consumers = list(consumers)
+    trace = result.trace
+    columns = trace.columns
+    for consumer in consumers:
+        consumer.on_run_start(result.benchmark, result.mode, columns)
+    for row in trace.array():
+        values = dict(zip(columns, row))
+        for consumer in consumers:
+            consumer.on_interval(values)
+    for consumer in consumers:
+        consumer.on_run_end(result)

@@ -10,7 +10,7 @@ apply it (with migration/hotplug stalls), and the physical plant advances.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.platform.specs import (
     PlatformSpec,
     Resource,
 )
+from repro.sim.consumers import TraceConsumer, ViolationCounter
 from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
 from repro.sim.scheduler import LoadBalancer
 from repro.units import KELVIN_OFFSET
@@ -58,6 +59,7 @@ class Simulator:
         warm_start_c: Optional[float] = 52.0,
         max_duration_s: float = 900.0,
         seed: Optional[int] = None,
+        consumers: Optional[Sequence[TraceConsumer]] = None,
     ) -> None:
         self.workload = workload
         self.mode = mode
@@ -70,6 +72,8 @@ class Simulator:
         self.dtpm = dtpm
         self.warm_start_c = warm_start_c
         self.max_duration_s = max_duration_s
+        #: Streaming observers notified per interval (see repro.sim.consumers).
+        self.consumers = list(consumers or ())
 
         self.board = OdroidBoard(
             self.spec,
@@ -117,10 +121,16 @@ class Simulator:
         self._apply(current, current, None)
 
         pending_freeze_s = 0.0
-        interventions = 0
-        violations = 0
         migrations = 0
         offlined = 0
+        # violation/intervention counting is a streaming consumer like any
+        # other observer of the recorded trace
+        counters = ViolationCounter()
+        observers = [counters] + self.consumers
+        for consumer in observers:
+            consumer.on_run_start(
+                self.workload.name, self.mode.value, RUN_COLUMNS
+            )
 
         while not progress.done and board.time_s < self.max_duration_s:
             # 1. place threads and account work for this interval
@@ -161,10 +171,6 @@ class Simulator:
                     gpu_active=self.workload.uses_gpu,
                 )
                 final = outcome.config
-                if outcome.violation_predicted:
-                    violations += 1
-                if outcome.intervened:
-                    interventions += 1
             else:
                 final = proposal
 
@@ -176,9 +182,9 @@ class Simulator:
             migrations += int(migrated)
             offlined += cores_changed
 
-            # 6. record
+            # 6. record and publish to the streaming consumers
             temps_c = snapshot.temperatures_k - KELVIN_OFFSET
-            recorder.append(
+            interval = dict(
                 time_s=board.time_s,
                 max_temp_c=float(np.max(temps_c)),
                 true_max_temp_c=float(np.max(board.true_hotspots_k()))
@@ -203,9 +209,12 @@ class Simulator:
                 ),
                 intervened=float(bool(outcome and outcome.intervened)),
             )
+            recorder.append(**interval)
+            for consumer in observers:
+                consumer.on_interval(interval)
             current = final
 
-        return RunResult(
+        result = RunResult(
             benchmark=self.workload.name,
             mode=self.mode.value,
             completed=progress.done,
@@ -213,11 +222,14 @@ class Simulator:
             average_platform_power_w=board.meter.average_power_w,
             energy_j=board.meter.energy_j,
             trace=recorder,
-            interventions=interventions,
-            violations_predicted=violations,
+            interventions=counters.interventions,
+            violations_predicted=counters.violations,
             cluster_migrations=migrations,
             cores_offlined=offlined,
         )
+        for consumer in self.consumers:
+            consumer.on_run_end(result)
+        return result
 
     # ------------------------------------------------------------------
     def _propose(

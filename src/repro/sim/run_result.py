@@ -11,17 +11,47 @@ from repro.errors import SimulationError
 
 
 class TraceRecorder:
-    """Append-only columnar recorder for per-interval observations."""
+    """Append-only columnar recorder for per-interval observations.
+
+    Rows land in one preallocated ``float64`` buffer that grows
+    geometrically, so recording is amortised O(1) per interval and the
+    accessors (:meth:`column`, :meth:`as_dict`, :meth:`array`) return
+    **zero-copy views** into the live buffer rather than re-materialising
+    Python lists on every call.
+
+    Mutability contract: returned views are read-only snapshots
+    (``writeable`` flag cleared) of the first ``len(self)`` rows; copy
+    before editing.  A later :meth:`append` that triggers a buffer
+    reallocation leaves previously handed-out views pointing at the old
+    storage -- call the accessor again after recording more rows.
+    """
+
+    #: Rows preallocated up front; ~25 s of simulated time at the 100 ms
+    #: control period, so short runs never reallocate.
+    INITIAL_CAPACITY = 256
+
+    __slots__ = ("_columns", "_index", "_data", "_size")
 
     def __init__(self, columns: List[str]) -> None:
         if not columns:
             raise SimulationError("recorder needs at least one column")
         self._columns = list(columns)
-        self._rows: List[List[float]] = []
+        self._index = {c: i for i, c in enumerate(self._columns)}
+        if len(self._index) != len(self._columns):
+            raise SimulationError("duplicate column names: %s" % self._columns)
+        self._data = np.empty(
+            (self.INITIAL_CAPACITY, len(self._columns)), dtype=np.float64
+        )
+        self._size = 0
 
     @property
     def columns(self) -> List[str]:
         return list(self._columns)
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated row slots (>= ``len(self)``)."""
+        return self._data.shape[0]
 
     @classmethod
     def from_rows(
@@ -29,42 +59,104 @@ class TraceRecorder:
     ) -> "TraceRecorder":
         """Rebuild a recorder from serialised (columns, rows) data."""
         recorder = cls(columns)
+        if not rows:
+            return recorder
         width = len(recorder._columns)
-        for row in rows:
-            if len(row) != width:
-                raise SimulationError(
-                    "row width %d does not match %d columns"
-                    % (len(row), width)
-                )
-            recorder._rows.append([float(v) for v in row])
+        try:
+            data = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise SimulationError(
+                "rows are ragged or non-numeric (need %d columns each)" % width
+            ) from None
+        if data.ndim != 2 or data.shape[1] != width:
+            raise SimulationError(
+                "row width %d does not match %d columns"
+                % (data.shape[-1] if data.ndim else 0, width)
+            )
+        recorder._data = data
+        recorder._size = data.shape[0]
+        return recorder
+
+    @classmethod
+    def from_array(cls, columns: List[str], data: np.ndarray) -> "TraceRecorder":
+        """Adopt a ``(rows, columns)`` array (binary cache artifacts).
+
+        The array is adopted without copying when it is already a
+        contiguous ``float64`` matrix (e.g. straight out of an ``.npz``
+        blob or a memory map); the recorder then shares storage with it.
+        """
+        recorder = cls(columns)
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != len(recorder._columns):
+            raise SimulationError(
+                "trace array shape %s does not match %d columns"
+                % (data.shape, len(recorder._columns))
+            )
+        if data.shape[0]:
+            recorder._data = data
+            recorder._size = data.shape[0]
         return recorder
 
     def rows(self) -> List[List[float]]:
-        """All recorded rows (column order matches :attr:`columns`)."""
-        return [list(row) for row in self._rows]
+        """All recorded rows as fresh Python lists.
+
+        Compatibility shim for the JSON serialisation path -- it
+        materialises the whole trace; prefer :meth:`array` or
+        :meth:`column` in hot paths.
+        """
+        return self._data[: self._size].tolist()
+
+    def _grow(self) -> None:
+        grown = np.empty(
+            (max(2 * self._data.shape[0], self.INITIAL_CAPACITY),
+             len(self._columns)),
+            dtype=np.float64,
+        )
+        grown[: self._size] = self._data[: self._size]
+        self._data = grown
 
     def append(self, **values: float) -> None:
         """Record one row; every declared column must be present."""
-        missing = set(self._columns) - set(values)
-        if missing:
-            raise SimulationError("missing columns: %s" % sorted(missing))
-        self._rows.append([float(values[c]) for c in self._columns])
+        if self._size == self._data.shape[0]:
+            self._grow()
+        row = self._data[self._size]
+        try:
+            for name, i in self._index.items():
+                row[i] = values[name]
+        except KeyError:
+            missing = set(self._columns) - set(values)
+            raise SimulationError(
+                "missing columns: %s" % sorted(missing)
+            ) from None
+        self._size += 1
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._size
+
+    def _view(self, view: np.ndarray) -> np.ndarray:
+        # enforce the read-only contract: an in-place edit through a view
+        # would corrupt the recorder (and any cache sharing the result)
+        view.flags.writeable = False
+        return view
+
+    def array(self) -> np.ndarray:
+        """The whole trace as a zero-copy ``(rows, columns)`` view."""
+        return self._view(self._data[: self._size])
 
     def column(self, name: str) -> np.ndarray:
-        """One column as an array."""
+        """One column as a zero-copy array view."""
         try:
-            idx = self._columns.index(name)
-        except ValueError:
+            idx = self._index[name]
+        except KeyError:
             raise SimulationError("unknown column %r" % name) from None
-        return np.array([row[idx] for row in self._rows])
+        return self._view(self._data[: self._size, idx])
 
     def as_dict(self) -> Dict[str, np.ndarray]:
-        """All columns as arrays."""
-        data = np.array(self._rows) if self._rows else np.empty((0, len(self._columns)))
-        return {c: data[:, i] for i, c in enumerate(self._columns)}
+        """All columns as zero-copy array views."""
+        data = self._data[: self._size]
+        return {
+            c: self._view(data[:, i]) for i, c in enumerate(self._columns)
+        }
 
 
 #: Columns every simulation run records.
@@ -110,12 +202,14 @@ class RunResult:
     notes: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    # Trace accessors return zero-copy views into the recorder's buffer
+    # (see TraceRecorder's mutability contract); treat them as read-only.
     def times_s(self) -> np.ndarray:
-        """Time axis of the recorded trace."""
+        """Time axis of the recorded trace (view)."""
         return self.trace.column("time_s")
 
     def max_temps_c(self) -> np.ndarray:
-        """Sensed maximum core temperature over time."""
+        """Sensed maximum core temperature over time (view)."""
         return self.trace.column("max_temp_c")
 
     def big_freqs_ghz(self) -> np.ndarray:

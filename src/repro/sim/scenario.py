@@ -16,13 +16,23 @@ from repro.config import SimulationConfig
 from repro.core.dtpm import DtpmGovernor
 from repro.errors import ConfigurationError
 from repro.platform.specs import PlatformSpec
+from repro.sim.consumers import TraceConsumer
 from repro.sim.engine import Simulator, ThermalMode
 from repro.sim.run_result import RunResult
 from repro.workloads.trace import WorkloadTrace
 
 
 class ScenarioRunner:
-    """Runs workloads consecutively, carrying thermal state across runs."""
+    """Runs workloads consecutively, carrying thermal state across runs.
+
+    ``base_seed`` pins run ``i`` of the sequence to seed ``base_seed + i``
+    (defaults to the config's seed), which is what makes scenario
+    schedules content-addressable through :mod:`repro.runner`.
+    ``annotate=False`` suppresses the ``"scenario position i"`` result
+    notes so a position's result is byte-identical however it was reached
+    (the cache relies on this).  Streaming ``consumers`` are forwarded to
+    every :class:`Simulator` in the sequence.
+    """
 
     def __init__(
         self,
@@ -30,9 +40,12 @@ class ScenarioRunner:
         dtpm: Optional[DtpmGovernor] = None,
         spec: Optional[PlatformSpec] = None,
         config: Optional[SimulationConfig] = None,
-        initial_temp_c: float = 35.0,
+        initial_temp_c: Optional[float] = 35.0,
         idle_gap_s: float = 0.0,
         max_duration_s: float = 900.0,
+        base_seed: Optional[int] = None,
+        annotate: bool = True,
+        consumers: Optional[Sequence[TraceConsumer]] = None,
     ) -> None:
         if mode is ThermalMode.DTPM and dtpm is None:
             raise ConfigurationError("DTPM scenarios need a DtpmGovernor")
@@ -45,6 +58,9 @@ class ScenarioRunner:
         self.initial_temp_c = initial_temp_c
         self.idle_gap_s = idle_gap_s
         self.max_duration_s = max_duration_s
+        self.base_seed = base_seed
+        self.annotate = annotate
+        self.consumers = list(consumers or ())
         self._carry_temps_k = None
 
     # ------------------------------------------------------------------
@@ -53,6 +69,7 @@ class ScenarioRunner:
         if not workloads:
             raise ConfigurationError("scenario needs at least one workload")
         results: List[RunResult] = []
+        seed0 = self.base_seed if self.base_seed is not None else self.config.seed
         for i, workload in enumerate(workloads):
             carrying = self._carry_temps_k is not None
             sim = Simulator(
@@ -65,14 +82,16 @@ class ScenarioRunner:
                 # later runs inherit the carried thermal state verbatim
                 warm_start_c=None if carrying else self.initial_temp_c,
                 max_duration_s=self.max_duration_s,
-                seed=self.config.seed + i,
+                seed=seed0 + i,
+                consumers=self.consumers,
             )
             if carrying:
                 sim.board.network.set_temperatures_k(self._carry_temps_k)
                 if self.idle_gap_s > 0:
                     self._idle(sim)
             result = sim.run()
-            result.notes.append("scenario position %d" % i)
+            if self.annotate:
+                result.notes.append("scenario position %d" % i)
             results.append(result)
             self._carry_temps_k = sim.board.network.temperatures_k
         return results

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.platform.specs import PlatformSpec
 from repro.runner.runner import ParallelRunner, ensure_runner
-from repro.runner.spec import ExperimentMatrix
+from repro.runner.spec import ExperimentMatrix, RunSpec
 from repro.sim.engine import ThermalMode
 from repro.sim.models import ModelBundle
 from repro.sim.run_result import RunResult
@@ -143,6 +143,50 @@ def sweep_guard_band(
     return [
         _evaluate(result, config.t_constraint_c, guard)
         for guard, result in zip(guard_bands_k, results)
+    ]
+
+
+def sweep_idle_gap(
+    schedule: Sequence[WorkloadTrace],
+    gaps_s: Sequence[float],
+    models: Optional[ModelBundle] = None,
+    mode: ThermalMode = ThermalMode.DTPM,
+    spec: Optional[PlatformSpec] = None,
+    initial_temp_c: float = 35.0,
+    max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
+) -> List[SweepPoint]:
+    """Sweep the between-apps idle gap of a back-to-back scenario.
+
+    Each point runs ``schedule`` (two or more workloads, thermal state
+    carried across runs) with a different cooling gap and reports the
+    outcome of the **final** workload -- the one that starts hottest.
+    Points are scenario :class:`~repro.runner.RunSpec`\\ s, so they fan
+    out and cache through the runner like any other grid.
+    """
+    schedule = tuple(schedule)
+    if len(schedule) < 2:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("idle-gap sweep needs a schedule of >= 2 runs")
+    config = SimulationConfig()
+    specs = [
+        RunSpec(
+            workload=schedule[-1],
+            mode=mode,
+            config=config,
+            platform=spec,
+            warm_start_c=initial_temp_c,
+            max_duration_s=max_duration_s,
+            history=schedule[:-1],
+            idle_gap_s=gap,
+        )
+        for gap in gaps_s
+    ]
+    results = ensure_runner(runner, models).run(specs)
+    return [
+        _evaluate(result, config.t_constraint_c, gap)
+        for gap, result in zip(gaps_s, results)
     ]
 
 

@@ -97,3 +97,53 @@ def test_sweep_command_through_model_store(capsys, tmp_path, models):
 def test_sweep_rejects_unknown_knob():
     with pytest.raises(SystemExit):
         main(["sweep", "voltage"])
+
+
+def test_matrix_schedule_runs_with_carryover(capsys, tmp_path):
+    args = [
+        "matrix",
+        "--schedule", "dijkstra,patricia",
+        "--modes", "without_fan",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "(pos 1)" in out  # the scheduled second app is labelled
+    assert "2 executed, 0 cache hits" in out
+    assert main(args) == 0
+    assert "0 executed, 2 cache hits" in capsys.readouterr().out
+
+
+def test_matrix_rejects_unknown_schedule_benchmark(capsys):
+    assert main(["matrix", "--schedule", "doom,quake"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cache_stats_and_prune(capsys, tmp_path):
+    cache_args = ["--cache-dir", str(tmp_path)]
+    # populate two entries through a real (tiny) matrix run
+    assert main([
+        "matrix", "--benchmarks", "dijkstra",
+        "--modes", "with_fan,without_fan",
+    ] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "2 results" in out and "2 v2 json+npz" in out
+    assert main(["cache", "prune", "--all"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "pruned 2 entries" in out
+    assert main(["cache", "stats"] + cache_args) == 0
+    assert "0 results" in capsys.readouterr().out
+
+
+def test_cache_requires_directory(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    # the parser default was captured at build time, so pass an empty dir
+    assert main(["cache", "stats", "--cache-dir", ""]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
+def test_cache_prune_requires_bound():
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--cache-dir", "/tmp/x"])

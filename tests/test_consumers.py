@@ -1,0 +1,192 @@
+"""Streaming trace consumers: live vs replay vs post-hoc equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.analysis.stats import (
+    regulation_quality,
+    stability_stats,
+    stability_stats_streaming,
+    streaming_stability,
+)
+from repro.sim.consumers import (
+    RunningStats,
+    StreamingPower,
+    StreamingStability,
+    TraceConsumer,
+    ViolationCounter,
+    replay,
+)
+from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.metrics import (
+    variance_reduction_factor,
+    variance_reduction_factor_streaming,
+)
+from repro.sim.scenario import ScenarioRunner
+from repro.workloads.generator import synthesize
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthesize("high", 20.0, threads=4, seed=11)
+
+
+class Recording(TraceConsumer):
+    """Test double that logs every hook invocation."""
+
+    def __init__(self):
+        self.starts = []
+        self.intervals = 0
+        self.ends = []
+
+    def on_run_start(self, benchmark, mode, columns):
+        self.starts.append((benchmark, mode, tuple(columns)))
+
+    def on_interval(self, values):
+        self.intervals += 1
+
+    def on_run_end(self, result):
+        self.ends.append(result)
+
+
+# ---------------------------------------------------------------------------
+# RunningStats
+# ---------------------------------------------------------------------------
+def test_running_stats_matches_numpy(rng):
+    samples = rng.normal(55.0, 3.0, size=500)
+    stats = RunningStats()
+    for x in samples:
+        stats.push(float(x))
+    assert stats.count == 500
+    assert stats.mean == pytest.approx(np.mean(samples), rel=1e-12)
+    assert stats.variance == pytest.approx(np.var(samples), rel=1e-9)
+    assert stats.min == np.min(samples) and stats.max == np.max(samples)
+    assert stats.band == pytest.approx(np.ptp(samples))
+
+
+def test_running_stats_empty_raises():
+    stats = RunningStats()
+    with pytest.raises(SimulationError):
+        stats.variance
+    with pytest.raises(SimulationError):
+        stats.band
+
+
+# ---------------------------------------------------------------------------
+# live publication from the engine
+# ---------------------------------------------------------------------------
+def test_simulator_publishes_every_interval(workload):
+    probe = Recording()
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=120.0, consumers=[probe]
+    ).run()
+    assert probe.starts == [(workload.name, "without_fan", tuple(result.trace.columns))]
+    assert probe.intervals == len(result.trace)
+    assert probe.ends == [result]
+
+
+def test_violation_counter_matches_result_fields(workload, models):
+    from repro.sim.experiment import make_dtpm_governor
+
+    counter = ViolationCounter()
+    result = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models),
+        warm_start_c=58.0,
+        max_duration_s=120.0,
+        consumers=[counter],
+    ).run()
+    assert result.interventions > 0  # warm start near the constraint
+    assert counter.interventions == result.interventions
+    assert counter.violations == result.violations_predicted
+    assert counter.interventions == int(result.trace.column("intervened").sum())
+
+
+def test_scenario_runner_forwards_consumers(workload):
+    probe = Recording()
+    runner = ScenarioRunner(
+        ThermalMode.NO_FAN, initial_temp_c=30.0, consumers=[probe]
+    )
+    results = runner.run([workload, workload])
+    assert len(probe.starts) == 2
+    assert probe.intervals == sum(len(r.trace) for r in results)
+    assert probe.ends == results
+
+
+# ---------------------------------------------------------------------------
+# streaming == post-hoc
+# ---------------------------------------------------------------------------
+def test_streaming_stability_matches_posthoc(workload):
+    live = StreamingStability(skip_s=15.0)
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=120.0, consumers=[live]
+    ).run()
+    assert live.peak_c == result.peak_temp_c()
+    assert live.average_temp_c == pytest.approx(
+        result.average_temp_c(15.0), rel=1e-12
+    )
+    assert live.max_min_c == pytest.approx(result.temp_max_min_c(15.0))
+    assert live.variance_c2 == pytest.approx(
+        result.temp_variance(15.0), rel=1e-9
+    )
+
+
+def test_replay_equals_live(workload):
+    live = StreamingStability(skip_s=10.0)
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=120.0, consumers=[live]
+    ).run()
+    replayed = StreamingStability(skip_s=10.0)
+    replay(result, [replayed])
+    assert replayed.peak_c == live.peak_c
+    assert replayed.settled.count == live.settled.count
+    assert replayed.average_temp_c == pytest.approx(live.average_temp_c, rel=1e-12)
+    assert replayed.variance_c2 == pytest.approx(live.variance_c2, rel=1e-12)
+
+
+def test_stability_stats_streaming_equals_posthoc(workload):
+    result = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=120.0).run()
+    post = stability_stats(result, skip_s=20.0)
+    stream = stability_stats_streaming(result, skip_s=20.0)
+    assert stream.mode == post.mode
+    assert stream.peak_c == post.peak_c
+    assert stream.average_temp_c == pytest.approx(post.average_temp_c, rel=1e-12)
+    assert stream.max_min_c == pytest.approx(post.max_min_c)
+    assert stream.variance_c2 == pytest.approx(post.variance_c2, rel=1e-9)
+
+
+def test_streaming_regulation_quality_matches_posthoc(workload):
+    result = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=120.0).run()
+    consumer = streaming_stability(result, skip_s=20.0, constraint_c=63.0)
+    post = regulation_quality(result, 63.0, skip_s=20.0)
+    stream = consumer.regulation_quality()
+    for key, value in post.items():
+        assert stream[key] == pytest.approx(value, rel=1e-9), key
+
+
+def test_variance_reduction_streaming_matches(workload, models):
+    from repro.sim.experiment import make_dtpm_governor
+
+    base = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=100.0).run()
+    dtpm = Simulator(
+        workload,
+        ThermalMode.DTPM,
+        dtpm=make_dtpm_governor(models),
+        max_duration_s=100.0,
+    ).run()
+    assert variance_reduction_factor_streaming(
+        base, dtpm, skip_s=15.0
+    ) == pytest.approx(variance_reduction_factor(base, dtpm, skip_s=15.0), rel=1e-9)
+
+
+def test_streaming_power_mean_matches_trace(workload):
+    power = StreamingPower()
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=80.0, consumers=[power]
+    ).run()
+    for rail in StreamingPower.RAILS:
+        assert power.mean_w(rail) == pytest.approx(
+            float(np.mean(result.trace.column(rail))), rel=1e-12
+        )

@@ -41,6 +41,54 @@ def test_recorder_columns_and_access():
     assert set(rec.as_dict()) == {"a", "b"}
 
 
+def test_recorder_grows_past_initial_capacity():
+    rec = TraceRecorder(["a", "b"])
+    n = TraceRecorder.INITIAL_CAPACITY * 2 + 7
+    for i in range(n):
+        rec.append(a=float(i), b=float(2 * i))
+    assert len(rec) == n
+    assert rec.capacity >= n
+    assert np.allclose(rec.column("a"), np.arange(n, dtype=float))
+    assert rec.rows()[-1] == [float(n - 1), float(2 * (n - 1))]
+
+
+def test_recorder_accessors_are_views():
+    rec = TraceRecorder(["a", "b"])
+    rec.append(a=1.0, b=2.0)
+    rec.append(a=3.0, b=4.0)
+    matrix = rec.array()
+    assert matrix.shape == (2, 2)
+    assert np.shares_memory(rec.column("a"), matrix)
+    assert np.shares_memory(rec.as_dict()["b"], matrix)
+    # appending within capacity is reflected by freshly-taken views
+    rec.append(a=5.0, b=6.0)
+    assert rec.column("a").tolist() == [1.0, 3.0, 5.0]
+
+
+def test_from_rows_round_trip_and_validation():
+    rec = TraceRecorder(["a", "b"])
+    rec.append(a=1.0, b=2.0)
+    clone = TraceRecorder.from_rows(clone_cols := rec.columns, rec.rows())
+    assert clone.columns == clone_cols
+    assert clone.rows() == rec.rows()
+    with pytest.raises(SimulationError):
+        TraceRecorder.from_rows(["a", "b"], [[1.0, 2.0], [3.0]])  # ragged
+    with pytest.raises(SimulationError):
+        TraceRecorder.from_rows(["a", "b"], [[1.0, 2.0, 3.0]])  # too wide
+
+
+def test_from_array_adopts_matrix():
+    data = np.arange(6, dtype=float).reshape(3, 2)
+    rec = TraceRecorder.from_array(["a", "b"], data)
+    assert len(rec) == 3
+    assert np.shares_memory(rec.array(), data)
+    # appending after adoption grows a fresh buffer (copy) and works
+    rec.append(a=10.0, b=11.0)
+    assert rec.column("b").tolist() == [1.0, 3.0, 5.0, 11.0]
+    with pytest.raises(SimulationError):
+        TraceRecorder.from_array(["a", "b"], np.zeros((2, 3)))
+
+
 def test_recorder_rejects_missing_columns():
     rec = TraceRecorder(["a", "b"])
     with pytest.raises(SimulationError):

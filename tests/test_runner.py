@@ -12,11 +12,13 @@ from repro.runner import (
     ParallelRunner,
     ResultCache,
     RunSpec,
+    execute_schedule,
     execute_spec,
     result_bytes,
     spec_key,
 )
 from repro.sim.engine import ThermalMode
+from repro.sim.scenario import ScenarioRunner
 from repro.workloads.benchmarks import get_benchmark
 from repro.workloads.generator import synthesize
 
@@ -24,6 +26,11 @@ from repro.workloads.generator import synthesize
 @pytest.fixture(scope="module")
 def workload():
     return synthesize("high", 18.0, threads=4, seed=6)
+
+
+@pytest.fixture(scope="module")
+def second_workload():
+    return synthesize("medium", 14.0, threads=2, seed=7)
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +189,155 @@ def test_run_one_equals_execute_spec(workload):
     assert result_bytes(ParallelRunner().run_one(spec)) == result_bytes(
         execute_spec(spec)
     )
+
+
+# ---------------------------------------------------------------------------
+# scenario schedules through the runner
+# ---------------------------------------------------------------------------
+def test_schedule_spec_validation(workload, second_workload):
+    with pytest.raises(ConfigurationError):
+        RunSpec(
+            workload=workload, mode=ThermalMode.NO_FAN, idle_gap_s=5.0
+        )  # idle gap without a history
+    with pytest.raises(ConfigurationError):
+        RunSpec(
+            workload=workload,
+            mode=ThermalMode.NO_FAN,
+            history=("dijkstra",),  # not resolved to a trace
+        )
+    spec = RunSpec(
+        workload=second_workload,
+        mode=ThermalMode.NO_FAN,
+        history=(workload,),
+        idle_gap_s=3.0,
+    )
+    assert spec.schedule == (workload, second_workload)
+    assert "after" in spec.describe() and "gap=3s" in spec.describe()
+
+
+def test_chain_positions(workload, second_workload):
+    spec = RunSpec(
+        workload=second_workload,
+        mode=ThermalMode.NO_FAN,
+        history=(workload,),
+        idle_gap_s=2.0,
+        seed=42,
+    )
+    first, last = spec.chain()
+    assert last == spec
+    assert first.workload is workload and first.history == ()
+    assert first.idle_gap_s == 0.0  # no gap before the first run
+    assert first.seed == 42  # positions share the scenario base seed
+    # a plain spec is its own 1-element chain and keeps its key
+    plain = RunSpec(workload=workload, mode=ThermalMode.NO_FAN)
+    assert plain.chain() == [plain]
+
+
+def test_schedule_key_stability(workload):
+    """Adding the scenario fields must not move pre-existing cache keys."""
+    from repro.runner import canonical_json
+
+    plain = RunSpec(workload=workload, mode=ThermalMode.NO_FAN)
+    rendered = canonical_json(plain)
+    assert "history" not in rendered and "idle_gap_s" not in rendered
+    scheduled = RunSpec(
+        workload=workload,
+        mode=ThermalMode.NO_FAN,
+        history=(workload,),
+    )
+    assert spec_key(scheduled) != spec_key(plain)
+
+
+def test_matrix_schedules_axis(workload, second_workload):
+    matrix = ExperimentMatrix(
+        workloads=(workload,),
+        modes=(ThermalMode.NO_FAN,),
+        schedules=((workload, second_workload),),
+        idle_gap_s=4.0,
+        base_seed=100,
+    )
+    specs = matrix.specs()
+    assert len(matrix) == len(specs) == 3  # 1 plain + 2 schedule positions
+    plain, pos0, pos1 = specs
+    assert plain.history == () and plain.seed == 100
+    assert pos0.history == () and pos0.idle_gap_s == 0.0
+    assert pos1.history == (workload,) and pos1.idle_gap_s == 4.0
+    # the whole schedule is one experiment: both positions share one seed
+    assert pos0.seed == pos1.seed == 101
+    with pytest.raises(ConfigurationError):
+        ExperimentMatrix(modes=(ThermalMode.NO_FAN,))  # no workloads at all
+    with pytest.raises(ConfigurationError):
+        ExperimentMatrix(schedules=((),))
+
+
+def test_execute_schedule_matches_scenario_runner(workload, second_workload):
+    spec = RunSpec(
+        workload=second_workload,
+        mode=ThermalMode.NO_FAN,
+        warm_start_c=40.0,
+        history=(workload,),
+    )
+    chain_results = execute_schedule(spec)
+    direct = ScenarioRunner(
+        ThermalMode.NO_FAN, initial_temp_c=40.0, annotate=False
+    ).run([workload, second_workload])
+    assert [result_bytes(r) for r in chain_results] == [
+        result_bytes(r) for r in direct
+    ]
+    # execute_spec returns the final position
+    assert result_bytes(execute_spec(spec)) == result_bytes(chain_results[-1])
+    # the carried thermal state is visible: position 1 starts hotter
+    assert (
+        chain_results[1].max_temps_c()[0]
+        > chain_results[0].max_temps_c()[0] + 3.0
+    )
+
+
+def test_runner_harvests_chain_positions(tmp_path, workload, second_workload):
+    """One schedule through the matrix: every position cached, no rework."""
+    matrix = ExperimentMatrix(
+        workloads=(),
+        modes=(ThermalMode.NO_FAN,),
+        schedules=((workload, second_workload),),
+        warm_start_c=40.0,
+    )
+    runner = ParallelRunner(cache=ResultCache(root=str(tmp_path)))
+    results = runner.run(matrix)
+    assert len(results) == 2
+    assert runner.last_stats.executed == 2
+    # position 0 is byte-identical to the plain spec executed standalone
+    plain = RunSpec(
+        workload=workload, mode=ThermalMode.NO_FAN, warm_start_c=40.0
+    )
+    assert result_bytes(results[0]) == result_bytes(execute_spec(plain))
+    # a fresh runner over the same directory answers everything from disk,
+    # including the plain spec harvested from the schedule's chain
+    warm = ParallelRunner(cache=ResultCache(root=str(tmp_path)))
+    warm_results = warm.run(matrix)
+    assert warm.last_stats.executed == 0
+    assert warm.last_stats.cache_hits == 2
+    assert [result_bytes(r) for r in warm_results] == [
+        result_bytes(r) for r in results
+    ]
+    assert warm.run_one(plain) is not None
+    assert warm.last_stats.cache_hits == 1 and warm.last_stats.executed == 0
+
+
+def test_schedules_serial_equals_parallel(workload, second_workload):
+    specs = [
+        RunSpec(
+            workload=second_workload,
+            mode=ThermalMode.NO_FAN,
+            warm_start_c=40.0,
+            history=(workload,),
+        ),
+        RunSpec(workload=workload, mode=ThermalMode.NO_FAN, warm_start_c=40.0),
+    ]
+    serial = ParallelRunner(workers=1).run(specs)
+    parallel = ParallelRunner(workers=2).run(specs)
+    assert [result_bytes(r) for r in serial] == [
+        result_bytes(r) for r in parallel
+    ]
 
 
 def _usable_cpus() -> int:

@@ -3,23 +3,32 @@
 import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.config import SimulationConfig
 from repro.errors import SimulationError
 from repro.runner import (
+    ARTIFACT_FORMAT,
     ParallelRunner,
     ResultCache,
     RunSpec,
     cached_build_models,
+    disk_usage,
+    load_trace_blob,
     model_fingerprint,
     models_key,
     models_to_payload,
+    payload_bytes,
     payload_to_models,
     payload_to_result,
+    prune,
     result_bytes,
     result_to_payload,
+    result_to_summary,
     spec_key,
+    summary_to_result,
+    trace_blob_bytes,
 )
 from repro.sim.engine import ThermalMode
 from repro.workloads.generator import synthesize
@@ -100,6 +109,122 @@ def test_from_env_honours_cache_dir(tmp_path, monkeypatch):
     assert cache.root == str(tmp_path / "shared")
     monkeypatch.setenv("REPRO_CACHE_DIR", "")
     assert ResultCache.from_env().root is None
+
+
+# ---------------------------------------------------------------------------
+# v2 artifacts: summary JSON + npz trace blob
+# ---------------------------------------------------------------------------
+def _entry_paths(root, key):
+    shard = os.path.join(str(root), key[:2])
+    return os.path.join(shard, key + ".json"), os.path.join(shard, key + ".npz")
+
+
+def test_put_writes_v2_summary_plus_blob(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    json_path, blob_path = _entry_paths(tmp_path, key)
+    payload = json.loads(open(json_path, "rb").read().decode("utf-8"))
+    assert payload["artifact"] == ARTIFACT_FORMAT
+    assert "rows" not in payload["trace"]
+    assert payload["trace"]["length"] == len(result.trace)
+    data = load_trace_blob(blob_path)
+    assert data.shape == (len(result.trace), len(result.trace.columns))
+
+
+def test_npz_json_round_trip_numeric_equality(result):
+    """The binary and the JSON codec agree bit-for-bit on every float."""
+    via_json = payload_to_result(
+        json.loads(result_bytes(result).decode("utf-8"))
+    )
+    blob = trace_blob_bytes(result)
+    import io
+
+    with np.load(io.BytesIO(blob)) as npz:
+        via_npz = summary_to_result(result_to_summary(result), npz["data"])
+    assert result_bytes(via_npz) == result_bytes(via_json) == result_bytes(result)
+    assert np.array_equal(via_npz.trace.array(), via_json.trace.array())
+
+
+def test_v1_entries_read_transparently(tmp_path, workload, result):
+    """Entries written by the old JSON-rows code are still cache hits."""
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    json_path, blob_path = _entry_paths(tmp_path, key)
+    os.makedirs(os.path.dirname(json_path), exist_ok=True)
+    with open(json_path, "wb") as fh:
+        fh.write(payload_bytes(result_to_payload(result)))  # v1 layout
+    assert not os.path.exists(blob_path)
+    hit = cache.get(key)
+    assert hit is not None
+    assert result_bytes(hit) == result_bytes(result)
+
+
+def test_mmap_read_back_is_identical(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    mapped = ResultCache(root=str(tmp_path), memory=False, mmap=True).get(key)
+    assert mapped is not None
+    assert result_bytes(mapped) == result_bytes(result)
+    # the trace matrix really is file-backed
+    base = mapped.trace.array()
+    while not isinstance(base, np.memmap) and getattr(base, "base", None) is not None:
+        base = base.base
+    assert isinstance(base, np.memmap)
+
+
+def test_corrupt_blob_is_a_miss(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    _, blob_path = _entry_paths(tmp_path, key)
+    with open(blob_path, "wb") as fh:
+        fh.write(b"not an npz")
+    assert cache.get(key) is None
+
+
+def test_disk_usage_and_prune(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    keys = [
+        spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN, seed=s))
+        for s in range(3)
+    ]
+    for key in keys:
+        cache.put(key, result)
+    usage = disk_usage(str(tmp_path))
+    assert usage.entries == usage.v2_entries == 3
+    assert usage.blob_bytes > 0 and usage.result_bytes > 0
+    # bound the store to roughly one entry: the oldest two are evicted
+    per_entry = usage.total_bytes // 3
+    removed, freed = prune(str(tmp_path), max_bytes=per_entry + 16)
+    assert removed == 2 and freed > 0
+    assert disk_usage(str(tmp_path)).entries == 1
+    # an explicit None bound empties the result store entirely
+    removed, _ = prune(str(tmp_path), max_bytes=None)
+    assert removed == 1
+    assert disk_usage(str(tmp_path)).entries == 0
+
+
+def test_prune_collects_stale_orphan_blobs_keeps_models(tmp_path):
+    shard = tmp_path / "ab"
+    shard.mkdir()
+    orphan = shard / ("ab" + "0" * 62 + ".npz")
+    orphan.write_bytes(b"orphan")
+    models_dir = tmp_path / "models"
+    models_dir.mkdir()
+    (models_dir / "deadbeef.json").write_text("{}")
+    usage = disk_usage(str(tmp_path))
+    assert usage.orphan_blobs == 1 and usage.model_entries == 1
+    # a fresh orphan may belong to an in-flight writer: left alone
+    removed, _ = prune(str(tmp_path), max_bytes=10**9)
+    assert removed == 0 and orphan.exists()
+    # backdate it past the grace window: now it is debris and collected
+    stale = os.path.getmtime(orphan) - 3600.0
+    os.utime(orphan, (stale, stale))
+    removed, freed = prune(str(tmp_path), max_bytes=10**9)
+    assert removed == 1 and freed == len(b"orphan")
+    assert (models_dir / "deadbeef.json").exists()
 
 
 # ---------------------------------------------------------------------------

@@ -72,6 +72,21 @@ def test_notes_record_position(workloads):
     assert results[1].notes == ["scenario position 1"]
 
 
+def test_annotate_false_leaves_notes_empty(workloads):
+    results = ScenarioRunner(ThermalMode.NO_FAN, annotate=False).run(workloads)
+    assert all(r.notes == [] for r in results)
+
+
+def test_base_seed_overrides_config_seed(workloads):
+    a = ScenarioRunner(ThermalMode.NO_FAN, base_seed=1234).run(workloads)
+    b = ScenarioRunner(ThermalMode.NO_FAN, base_seed=1234).run(workloads)
+    c = ScenarioRunner(ThermalMode.NO_FAN, base_seed=999).run(workloads)
+    from repro.runner import result_bytes
+
+    assert [result_bytes(r) for r in a] == [result_bytes(r) for r in b]
+    assert result_bytes(a[0]) != result_bytes(c[0])
+
+
 def test_validation(workloads):
     with pytest.raises(ConfigurationError):
         ScenarioRunner(ThermalMode.DTPM)  # needs a governor

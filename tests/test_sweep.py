@@ -3,10 +3,12 @@
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.sim.engine import ThermalMode
 from repro.sim.sweep import (
     sweep_constraint,
     sweep_guard_band,
     sweep_horizon,
+    sweep_idle_gap,
     sweep_sensor_noise,
 )
 from repro.workloads.generator import synthesize
@@ -50,3 +52,18 @@ def test_sensor_noise_sweep_still_regulates(models, workload):
 def test_horizon_validation(models, workload):
     with pytest.raises(ConfigurationError):
         sweep_horizon(workload, [0], models)
+
+
+def test_idle_gap_sweep_cools_the_second_app(workload):
+    first = synthesize("high", 16.0, threads=4, seed=8)
+    points = sweep_idle_gap(
+        [first, workload], [0.0, 90.0], mode=ThermalMode.NO_FAN
+    )
+    packed, gapped = points
+    assert [p.value for p in points] == [0.0, 90.0]
+    # a long cooling gap means the final app starts measurably cooler
+    assert (
+        gapped.result.max_temps_c()[0] < packed.result.max_temps_c()[0] - 1.0
+    )
+    with pytest.raises(ConfigurationError):
+        sweep_idle_gap([workload], [0.0])  # needs a real sequence
