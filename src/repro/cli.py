@@ -13,8 +13,10 @@ Subcommands::
     python -m repro.cli cache prune        # bound / empty the result cache
 
 ``suite``, ``sweep`` and ``matrix`` accept ``--workers N`` (process
-fan-out) and ``--cache-dir DIR`` (content-addressed result cache; defaults
-to ``$REPRO_CACHE_DIR`` when set), so repeated invocations are near-free.
+fan-out), ``--batch B`` (how many compatible runs one worker advances per
+control step; defaults to ``$REPRO_BATCH`` or 8) and ``--cache-dir DIR``
+(content-addressed result cache; defaults to ``$REPRO_CACHE_DIR`` when
+set), so repeated invocations are near-free.
 ``matrix`` additionally takes ``--schedule A,B,...`` (repeatable) to run
 back-to-back app sequences with thermal-state carryover on the grid.
 Exposed as the ``repro-dtpm`` console script as well.
@@ -103,6 +105,11 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--workers", type=_positive_int, default=1,
         help="process count for parallel fan-out (default: serial)")
     parser.add_argument(
+        "--batch", type=_positive_int, default=None,
+        help="runs one worker advances per control step (default: "
+             "$REPRO_BATCH or 8; 1 disables batching; results are "
+             "byte-identical either way)")
+    parser.add_argument(
         "--cache-dir", default=default_cache_dir(),
         help="result-cache directory (default: $REPRO_CACHE_DIR if set)")
     parser.add_argument(
@@ -114,7 +121,9 @@ def _make_runner(args, models=None) -> ParallelRunner:
     cache = None
     if not args.no_cache and args.cache_dir:
         cache = ResultCache(root=args.cache_dir)
-    return ParallelRunner(workers=args.workers, cache=cache, models=models)
+    return ParallelRunner(
+        workers=args.workers, cache=cache, models=models, batch=args.batch
+    )
 
 
 def _load_models(args):
@@ -480,13 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="cache directory (default: $REPRO_CACHE_DIR)")
     p_cstats.set_defaults(func=_cmd_cache_stats)
     p_cprune = cache_sub.add_parser(
-        "prune", help="evict result entries (oldest first) to bound the store"
+        "prune",
+        help="evict result entries (least-recently-read first) to bound "
+             "the store",
     )
     p_cprune.add_argument("--cache-dir", default=default_cache_dir(),
                           help="cache directory (default: $REPRO_CACHE_DIR)")
     bound = p_cprune.add_mutually_exclusive_group(required=True)
     bound.add_argument("--max-mb", type=float,
-                       help="evict oldest entries until under this many MiB")
+                       help="evict least-recently-read entries until under "
+                            "this many MiB")
     bound.add_argument("--all", action="store_true",
                        help="remove every result entry (models are kept)")
     p_cprune.set_defaults(func=_cmd_cache_prune)

@@ -114,6 +114,34 @@ class OdroidBoard:
         """Ground-truth hotspot (big core) temperatures (K)."""
         return floorplan.hotspot_temperatures_k(self.network)
 
+    def sync_lane(
+        self,
+        temps_k: np.ndarray,
+        cooling_gain: float,
+        fan_speed: int,
+        time_s: float,
+        energy_j: float,
+        meter_elapsed_s: float,
+        last_reading_w: float,
+        power_state: Optional[SocPowerState] = None,
+    ) -> None:
+        """Adopt one lane of a batched plant advance.
+
+        The batched plant (:mod:`repro.platform.state`) integrates many
+        boards' physics in struct-of-arrays form; after each control
+        interval it writes every lane's state back here so the board
+        object stays the authoritative owner between intervals (scenario
+        carry-over, warm starts, :meth:`read_sensors` and tests all read
+        it).
+        """
+        self.network.set_temperatures_k(temps_k)
+        self.network.set_cooling_gain(cooling_gain)
+        self.fan.restore_speed(fan_speed)
+        self.meter.restore(energy_j, meter_elapsed_s, last_reading_w)
+        self._time_s = float(time_s)
+        if power_state is not None:
+            self._last_power_state = power_state
+
     def true_platform_power_w(self) -> float:
         """Ground-truth platform power of the last evaluated interval."""
         soc_w = self._last_power_state.total_w if self._last_power_state else 0.0

@@ -118,5 +118,14 @@ class Fan:
         self.enabled = False
         self._speed = FanSpeed.OFF
 
+    def restore_speed(self, speed: int) -> None:
+        """Adopt a controller state computed elsewhere.
+
+        The batched plant (:mod:`repro.platform.state`) runs the threshold
+        controller for many fans at once and hands each lane's final speed
+        back through this hook.
+        """
+        self._speed = FanSpeed(int(speed))
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "Fan(speed=%s, enabled=%s)" % (self._speed.name, self.enabled)

@@ -42,6 +42,24 @@ class PlatformPowerMeter:
         return self._last_reading_w
 
     @property
+    def elapsed_s(self) -> float:
+        """Seconds of recording accumulated so far."""
+        return self._time_s
+
+    def restore(
+        self, energy_j: float, elapsed_s: float, last_reading_w: float
+    ) -> None:
+        """Adopt accumulator state computed elsewhere.
+
+        The batched plant (:mod:`repro.platform.state`) integrates many
+        meters at once and hands each lane's accumulators back through
+        this hook.
+        """
+        self._energy_j = float(energy_j)
+        self._time_s = float(elapsed_s)
+        self._last_reading_w = float(last_reading_w)
+
+    @property
     def energy_j(self) -> float:
         """Total energy recorded since construction (J)."""
         return self._energy_j

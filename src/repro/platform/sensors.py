@@ -81,6 +81,7 @@ class SensorBank:
         temp_quantum_k: float = 0.25,
         power_noise_rel: float = 0.01,
     ) -> None:
+        self._rng = rng
         self.thermal: List[TemperatureSensor] = [
             TemperatureSensor(rng, temp_noise_k, temp_quantum_k)
             for _ in range(num_thermal)
@@ -108,3 +109,52 @@ class SensorBank:
                 % (len(self.power), len(true_powers_w))
             )
         return np.array([s.read(p) for s, p in zip(self.power, true_powers_w)])
+
+    def read_all(
+        self, true_temps_k: Sequence[float], true_powers_w: Sequence[float]
+    ) -> tuple:
+        """Vectorised read of every sensor in one call.
+
+        Returns ``(temperatures_k, powers_w)``.  Consumes the shared RNG
+        stream exactly like :meth:`read_temperatures` followed by
+        :meth:`read_powers` -- one Gaussian per noisy sensor, in sensor
+        order -- and applies the same quantisation/floor arithmetic, so
+        the values are bit-identical to the scalar reads.  (``normal(0,
+        sigma)`` is ``sigma * standard_normal()`` in the generator's C
+        implementation, which is what lets one array draw replace the
+        per-sensor scalar draws.)
+        """
+        temps = np.asarray(true_temps_k, dtype=float)
+        powers = np.asarray(true_powers_w, dtype=float)
+        if temps.shape[0] != len(self.thermal):
+            raise ConfigurationError(
+                "expected %d temperatures, got %d"
+                % (len(self.thermal), temps.shape[0])
+            )
+        if powers.shape[0] != len(self.power):
+            raise ConfigurationError(
+                "expected %d powers, got %d" % (len(self.power), powers.shape[0])
+            )
+
+        sigma = np.array([s.noise_sigma_k for s in self.thermal])
+        quantum = np.array([s.quantum_k for s in self.thermal])
+        noisy = sigma > 0
+        out_t = temps.copy()
+        if np.any(noisy):
+            out_t[noisy] += sigma[noisy] * self._rng.standard_normal(
+                int(np.sum(noisy))
+            )
+        quantised = quantum > 0
+        q_safe = np.where(quantised, quantum, 1.0)
+        out_t = np.where(quantised, np.round(out_t / q_safe) * q_safe, out_t)
+
+        rel = np.array([s.relative_noise for s in self.power])
+        floor = np.array([s.floor_w for s in self.power])
+        noisy_p = rel > 0
+        out_p = powers.copy()
+        if np.any(noisy_p):
+            out_p[noisy_p] *= 1.0 + rel[noisy_p] * self._rng.standard_normal(
+                int(np.sum(noisy_p))
+            )
+        out_p = np.maximum(floor, out_p)
+        return out_t, out_p

@@ -210,16 +210,23 @@ class LeakageSpec:
     c2: float
     i_gate: float
 
-    def current(self, temperature_k: float) -> float:
-        """Leakage current (A) at the given junction temperature (K)."""
-        if temperature_k <= 0:
+    def current(self, temperature_k):
+        """Leakage current (A) at the given junction temperature(s) (K).
+
+        Accepts a scalar or an array of temperatures (one per batch lane);
+        the evaluation is elementwise, so batched and scalar calls agree
+        bit-for-bit per lane.
+        """
+        import numpy as np
+
+        t = np.asarray(temperature_k, dtype=float)
+        if np.any(t <= 0):
             raise ConfigurationError("temperature must be positive Kelvin")
-        import math
+        out = self.c1 * t ** 2 * np.exp(self.c2 / t) + self.i_gate
+        return out if t.ndim else float(out)
 
-        return self.c1 * temperature_k ** 2 * math.exp(self.c2 / temperature_k) + self.i_gate
-
-    def power(self, temperature_k: float, vdd: float) -> float:
-        """Leakage power (W) at temperature (K) and supply voltage (V)."""
+    def power(self, temperature_k, vdd):
+        """Leakage power (W) at temperature(s) (K) and supply voltage(s) (V)."""
         return vdd * self.current(temperature_k)
 
 

@@ -1,0 +1,339 @@
+"""Struct-of-arrays plant state: many boards advanced per NumPy call.
+
+The serial plant is a graph of stateful objects -- one
+:class:`~repro.platform.board.OdroidBoard` owning an SoC, fan, sensors and
+meter.  Sweeps and schedule grids run many such boards with identical
+physics, so the 100 ms closed loop used to pay the Python interpreter per
+run per substep.  This module gives the plant a batch axis:
+
+* :class:`PlantState` holds every lane's mutable plant state as arrays
+  (``temps_k[B, N]``, ``fan_speed[B]``, ``energy_j[B]``, ...), gathered
+  from the per-lane board objects at the start of a control interval and
+  scattered back afterwards -- the boards stay the authoritative owners
+  between intervals, so scenario carry-over, warm starts and direct
+  object access keep working unchanged.
+* :class:`BatchPlant` advances a :class:`PlantState` through the thermal
+  substeps of one control interval: batched power evaluation
+  (:class:`~repro.power.batch.BatchPowerModel`), batched RC integration
+  (:meth:`~repro.thermal.rc_network.ThermalRCNetwork.step_batch`), a
+  vectorised fan threshold controller and vectorised meter accounting.
+
+Every kernel is elementwise over the batch axis (reductions only run over
+fixed-size axes such as the four cores), and per-lane RNG streams are
+consumed in exactly the serial order, so lane ``b`` of a batch is
+bit-identical to the same run advanced alone -- the contract
+``tests/test_batch_sim.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.platform.board import OdroidBoard
+from repro.platform.cluster import ClusterPower
+from repro.platform.soc import SocPowerState
+from repro.platform.specs import POWER_RESOURCES
+from repro.power.batch import BatchPowerModel
+from repro.thermal import floorplan
+from repro.units import celsius_to_kelvin
+
+
+@dataclass
+class PlantState:
+    """Mutable plant state of ``B`` lanes in struct-of-arrays form.
+
+    Gathered from (and scattered back to) per-lane boards; see
+    :meth:`gather` / :meth:`scatter`.  The ``powers_w`` /
+    ``big_core_powers_w`` / ``soc_total_w`` fields hold the *last*
+    evaluated substep's ground-truth power breakdown -- what the serial
+    board keeps as ``_last_power_state`` and the sensors read.
+    """
+
+    temps_k: np.ndarray  # (B, N) thermal node temperatures
+    cooling_gain: np.ndarray  # (B,) fan multiplier on case conductance
+    fan_speed: np.ndarray  # (B,) int in 0..3
+    fan_enabled: np.ndarray  # (B,) bool
+    time_s: np.ndarray  # (B,) simulated wall clock
+    energy_j: np.ndarray  # (B,) platform meter accumulator
+    meter_elapsed_s: np.ndarray  # (B,)
+    last_reading_w: np.ndarray  # (B,) last noisy meter reading
+    active_is_big: np.ndarray  # (B,) bool
+    big_freq_hz: np.ndarray  # (B,)
+    little_freq_hz: np.ndarray  # (B,)
+    gpu_freq_hz: np.ndarray  # (B,)
+    big_online: np.ndarray  # (B, 4) bool
+    little_online: np.ndarray  # (B, 4) bool
+    gpu_util: np.ndarray  # (B,)
+    mem_traffic: np.ndarray  # (B,)
+    powers_w: np.ndarray = None  # (B, 4) last substep's resource totals
+    big_core_powers_w: np.ndarray = None  # (B, 4)
+    soc_total_w: np.ndarray = None  # (B,)
+    dynamic_w: np.ndarray = None  # (B, 4) dynamic/leakage splits of the
+    leakage_w: np.ndarray = None  # last substep, resource-vector layout
+
+    @property
+    def batch(self) -> int:
+        """Number of lanes."""
+        return self.temps_k.shape[0]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def gather(cls, boards: Sequence[OdroidBoard]) -> "PlantState":
+        """Snapshot the per-lane board objects into one SoA state."""
+        cores = boards[0].spec.cores_per_cluster
+        return cls(
+            temps_k=np.stack([b.network.temperatures_k for b in boards]),
+            cooling_gain=np.array([b.network.cooling_gain for b in boards]),
+            fan_speed=np.array([int(b.fan.speed) for b in boards]),
+            fan_enabled=np.array([b.fan.enabled for b in boards]),
+            time_s=np.array([b.time_s for b in boards]),
+            energy_j=np.array([b.meter.energy_j for b in boards]),
+            meter_elapsed_s=np.array([b.meter.elapsed_s for b in boards]),
+            last_reading_w=np.array(
+                [b.meter.last_reading_w for b in boards]
+            ),
+            active_is_big=np.array([b.soc.big.active for b in boards]),
+            big_freq_hz=np.array([b.soc.big.frequency_hz for b in boards]),
+            little_freq_hz=np.array(
+                [b.soc.little.frequency_hz for b in boards]
+            ),
+            gpu_freq_hz=np.array([b.soc.gpu.frequency_hz for b in boards]),
+            big_online=np.array(
+                [
+                    [b.soc.big.is_online(c) for c in range(cores)]
+                    for b in boards
+                ]
+            ),
+            little_online=np.array(
+                [
+                    [b.soc.little.is_online(c) for c in range(cores)]
+                    for b in boards
+                ]
+            ),
+            gpu_util=np.array([b.soc.gpu.utilisation for b in boards]),
+            mem_traffic=np.array([b.soc.mem.traffic for b in boards]),
+        )
+
+    def scatter(self, boards: Sequence[OdroidBoard]) -> None:
+        """Write every lane's advanced plant state back to its board."""
+        for i, board in enumerate(boards):
+            board.sync_lane(
+                self.temps_k[i],
+                float(self.cooling_gain[i]),
+                int(self.fan_speed[i]),
+                float(self.time_s[i]),
+                float(self.energy_j[i]),
+                float(self.meter_elapsed_s[i]),
+                float(self.last_reading_w[i]),
+                self._power_state(i),
+            )
+
+    def _power_state(self, lane: int) -> Optional[SocPowerState]:
+        """Rebuild one lane's scalar power state from the SoA outputs.
+
+        Keeps ``OdroidBoard.read_sensors`` / ``true_platform_power_w``
+        honest after a batched advance -- the decompositions carry the
+        exact dynamic/leakage floats the batched kernel computed.
+        """
+        if self.dynamic_w is None:
+            return None
+        per_resource = {
+            resource: ClusterPower(
+                dynamic_w=float(self.dynamic_w[lane, i]),
+                leakage_w=float(self.leakage_w[lane, i]),
+            )
+            for i, resource in enumerate(POWER_RESOURCES)
+        }
+        return SocPowerState(
+            per_resource=per_resource,
+            big_core_powers_w=self.big_core_powers_w[lane].copy(),
+        )
+
+
+class BatchPlant:
+    """Advances many identical-physics boards one control interval at a time.
+
+    All lanes must share the platform spec, the thermal network physics
+    and the fan controller parameters (per-lane *state* -- temperatures,
+    fan speed, hotplug, frequencies, sensor/meter noise levels and RNG
+    streams -- is free to differ).  The first board's discretisation
+    cache serves the whole batch, which is safe because the quantised
+    effective cooling gains form a bijection with the cache keys.
+    """
+
+    def __init__(self, boards: Sequence[OdroidBoard]) -> None:
+        if not boards:
+            raise ConfigurationError("a batch plant needs at least one board")
+        self.boards: List[OdroidBoard] = list(boards)
+        first = self.boards[0]
+        for board in self.boards[1:]:
+            if board.spec != first.spec:
+                raise ConfigurationError(
+                    "batched boards must share one platform spec"
+                )
+            if not board.network.physics_equal(first.network):
+                raise ConfigurationError(
+                    "batched boards must share thermal network physics"
+                )
+            if board.fan.thresholds != first.fan.thresholds:
+                raise ConfigurationError(
+                    "batched boards must share fan thresholds"
+                )
+        self.network = first.network
+        self.spec = first.spec
+        self.power = BatchPowerModel(self.spec)
+
+        self._hot_idx = np.array(
+            [self.network.index(n) for n in floorplan.BIG_CORE_NODES]
+        )
+        self._little_idx = self.network.index(floorplan.LITTLE_NODE)
+        self._gpu_idx = self.network.index(floorplan.GPU_NODE)
+        self._mem_idx = self.network.index(floorplan.MEM_NODE)
+
+        th = first.fan.thresholds
+        self._fan_up_k = np.array(
+            [
+                celsius_to_kelvin(th.on_c),
+                celsius_to_kelvin(th.mid_c),
+                celsius_to_kelvin(th.high_c),
+            ]
+        )
+        self._fan_hyst_k = th.hysteresis_c
+        self._fan_power_w = np.asarray(self.spec.fan_power_w, dtype=float)
+        self._fan_gain = np.asarray(
+            self.spec.fan_conductance_gain, dtype=float
+        )
+        self._static_w = self.spec.platform_static_power_w
+
+    # ------------------------------------------------------------------
+    def gather(self, lanes: Sequence[int]) -> PlantState:
+        """SoA snapshot of the given board lanes (by index)."""
+        return PlantState.gather([self.boards[i] for i in lanes])
+
+    def scatter(self, state: PlantState, lanes: Sequence[int]) -> None:
+        """Write an advanced state back to the given board lanes."""
+        state.scatter([self.boards[i] for i in lanes])
+
+    # ------------------------------------------------------------------
+    def advance_interval(
+        self,
+        state: PlantState,
+        lanes: Sequence[int],
+        big_utils: np.ndarray,
+        little_utils: np.ndarray,
+        cpu_activity: np.ndarray,
+        gpu_activity: np.ndarray,
+        dt_s: float,
+        substeps: int,
+    ) -> None:
+        """Advance every lane of ``state`` by one control interval.
+
+        Mirrors ``substeps`` consecutive calls to
+        :meth:`OdroidBoard.step` per lane: power is evaluated at the
+        pre-step temperatures, the RC network integrates, the fan
+        controller reacts to the new hotspots, and the platform meter
+        samples with the *new* fan's draw.  Meter noise is pre-drawn per
+        lane (one array draw consumes the stream exactly like the serial
+        per-substep scalar draws).
+        """
+        batch = state.batch
+        noise = np.zeros((batch, substeps))
+        for i, lane in enumerate(lanes):
+            meter = self.boards[lane].meter
+            if meter.relative_noise > 0:
+                noise[i] = self.boards[lane].rng.normal(
+                    0.0, meter.relative_noise, size=substeps
+                )
+
+        inputs = self.power.interval_inputs(
+            state.active_is_big,
+            state.big_freq_hz,
+            state.little_freq_hz,
+            state.gpu_freq_hz,
+            state.big_online,
+            state.little_online,
+            big_utils,
+            little_utils,
+            state.gpu_util,
+            state.mem_traffic,
+            cpu_activity,
+            gpu_activity,
+        )
+
+        temps = state.temps_k
+        node_p = np.zeros((batch, self.network.num_nodes))
+        for k in range(substeps):
+            t_big = np.mean(temps[:, self._hot_idx], axis=1)
+            ps = self.power.evaluate(
+                inputs,
+                t_big,
+                temps[:, self._little_idx],
+                temps[:, self._gpu_idx],
+                temps[:, self._mem_idx],
+            )
+            node_p[:, self._hot_idx] = ps.big_core_powers_w
+            node_p[:, self._little_idx] = ps.powers_w[:, 1]
+            node_p[:, self._gpu_idx] = ps.powers_w[:, 2]
+            node_p[:, self._mem_idx] = ps.powers_w[:, 3]
+
+            temps = self.network.step_batch(
+                temps, node_p, dt_s, state.cooling_gain
+            )
+
+            max_hot = np.max(temps[:, self._hot_idx], axis=1)
+            state.fan_speed = self._update_fans(state, max_hot)
+            state.cooling_gain = self._fan_gain[state.fan_speed]
+
+            true_platform = (
+                ps.soc_total_w
+                + self._fan_power_w[state.fan_speed]
+                + self._static_w
+            )
+            reading = np.maximum(0.0, true_platform * (1.0 + noise[:, k]))
+            state.energy_j = state.energy_j + reading * dt_s
+            state.meter_elapsed_s = state.meter_elapsed_s + dt_s
+            state.last_reading_w = reading
+            state.time_s = state.time_s + dt_s
+
+        state.temps_k = temps
+        state.powers_w = ps.powers_w
+        state.big_core_powers_w = ps.big_core_powers_w
+        state.soc_total_w = ps.soc_total_w
+        state.dynamic_w = ps.dynamic_w
+        state.leakage_w = ps.leakage_w
+
+    def hotspots_k(self, state: PlantState) -> np.ndarray:
+        """True hotspot (big core) temperatures of every lane, ``(B, 4)``."""
+        return state.temps_k[:, self._hot_idx]
+
+    # ------------------------------------------------------------------
+    def _update_fans(
+        self, state: PlantState, max_hot_k: np.ndarray
+    ) -> np.ndarray:
+        """One vectorised step of the hysteretic fan threshold controller.
+
+        Elementwise transcription of :meth:`repro.platform.fan.Fan.update`:
+        speed jumps straight up to the highest crossed threshold, steps
+        down one level at a time once the temperature falls the hysteresis
+        below the engaging threshold, and a disabled fan pins to OFF.
+        """
+        speed = state.fan_speed
+        up = self._fan_up_k
+        target = (
+            (max_hot_k > up[0]).astype(np.int64)
+            + (max_hot_k > up[1])
+            + (max_hot_k > up[2])
+        )
+        rising = target > speed
+        engage = up[np.clip(speed - 1, 0, 2)]
+        falling = (
+            ~rising
+            & (target < speed)
+            & (max_hot_k < engage - self._fan_hyst_k)
+        )
+        new = np.where(rising, target, np.where(falling, speed - 1, speed))
+        return np.where(state.fan_enabled, new, 0)

@@ -9,8 +9,9 @@ the model knows only what the characterization procedure could observe.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ModelError
 from repro.power.fitting import LeakageFit
@@ -38,18 +39,21 @@ class LeakageModel:
         """Build the run-time model from a furnace fit result."""
         return cls(c1=fit.c1, c2=fit.c2, i_gate=fit.i_gate)
 
-    def current_a(self, temperature_k: float) -> float:
-        """Leakage current (A) at ``temperature_k``."""
-        if temperature_k <= 0:
-            raise ModelError("temperature must be positive Kelvin")
-        return (
-            self.c1 * temperature_k ** 2 * math.exp(self.c2 / temperature_k)
-            + self.i_gate
-        )
+    def current_a(self, temperature_k):
+        """Leakage current (A) at ``temperature_k`` (scalar or array).
 
-    def power_w(self, temperature_k: float, vdd: float) -> float:
-        """Leakage power (W) at temperature (K) and supply voltage (V)."""
-        if vdd <= 0:
+        Array inputs evaluate elementwise -- one temperature per batch
+        lane -- and return an array; scalars keep returning floats.
+        """
+        t = np.asarray(temperature_k, dtype=float)
+        if np.any(t <= 0):
+            raise ModelError("temperature must be positive Kelvin")
+        out = self.c1 * t ** 2 * np.exp(self.c2 / t) + self.i_gate
+        return out if t.ndim else float(out)
+
+    def power_w(self, temperature_k, vdd):
+        """Leakage power (W) at temperature(s) (K) and supply voltage(s) (V)."""
+        if np.any(np.asarray(vdd) <= 0):
             raise ModelError("vdd must be positive")
         return vdd * self.current_a(temperature_k)
 

@@ -33,9 +33,16 @@ from repro.runner.cache import (
     trace_blob_bytes,
 )
 from repro.runner.execute import (
+    BATCH_ENV,
+    DEFAULT_BATCH,
+    build_simulator,
+    default_batch,
+    execute_batch,
     execute_schedule,
     execute_spec,
     make_dtpm_governor,
+    plan_batches,
+    plant_shape_key,
 )
 from repro.runner.model_store import (
     MODELS_FORMAT,
@@ -61,14 +68,21 @@ from repro.runner.spec import (
 
 __all__ = [
     "ARTIFACT_FORMAT",
+    "BATCH_ENV",
     "CACHE_DIR_ENV",
     "CACHE_FORMAT",
+    "DEFAULT_BATCH",
     "MODELS_FORMAT",
     "CacheStats",
     "DiskUsage",
     "TRACE_BLOB_SUFFIX",
+    "build_simulator",
+    "default_batch",
     "disk_usage",
+    "execute_batch",
     "execute_schedule",
+    "plan_batches",
+    "plant_shape_key",
     "load_trace_blob",
     "prune",
     "result_to_summary",

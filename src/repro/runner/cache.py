@@ -41,7 +41,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.sim.run_result import RunResult, TraceRecorder
+from repro.sim.run_result import RunResult, TraceRecorder, rows_to_matrix
 
 #: Environment variable pointing the default cache at a shared directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -72,16 +72,21 @@ def result_to_payload(result: RunResult) -> dict:
         "notes": list(result.notes),
         "trace": {
             "columns": result.trace.columns,
-            "rows": result.trace.rows(),
+            "rows": result.trace.array().tolist(),
         },
     }
 
 
 def payload_to_result(payload: dict) -> RunResult:
     """Rebuild a RunResult from :func:`result_to_payload` output."""
-    trace = TraceRecorder.from_rows(
-        payload["trace"]["columns"], payload["trace"]["rows"]
-    )
+    columns = payload["trace"]["columns"]
+    rows = payload["trace"]["rows"]
+    if rows:
+        trace = TraceRecorder.from_array(
+            columns, rows_to_matrix(columns, rows)
+        )
+    else:
+        trace = TraceRecorder(columns)
     return RunResult(
         benchmark=payload["benchmark"],
         mode=payload["mode"],
@@ -275,8 +280,9 @@ class ResultCache:
     def _load_disk(self, key: str) -> Optional[RunResult]:
         if self.root is None:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 blob = fh.read()
         except OSError:
             return None
@@ -284,19 +290,42 @@ class ResultCache:
             payload = json.loads(blob.decode("utf-8"))
             if payload.get("artifact") == ARTIFACT_FORMAT:
                 data = load_trace_blob(self._blob_path(key), mmap=self.mmap)
-                return summary_to_result(payload, data)
-            # v1 entry: whole trace inline as JSON rows
-            return payload_to_result(payload)
+                result = summary_to_result(payload, data)
+            else:
+                # v1 entry: whole trace inline as JSON rows
+                result = payload_to_result(payload)
         except (OSError, ValueError, KeyError, SimulationError,
                 zipfile.BadZipFile):
             # corrupt/stale entry: treat as a miss, let the writer replace it
             return None
+        self._touch(path)
+        return result
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Best-effort LRU access stamp on a disk entry.
+
+        :func:`prune` evicts oldest-accessed-first by the summary file's
+        mtime; bumping it on every successful read makes the store an LRU
+        rather than a write-order FIFO.  Failures (read-only mounts,
+        races with a pruner) are ignored -- the entry just keeps its old
+        position in the eviction order.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[RunResult]:
         """The cached result for ``key``, or None on a miss."""
         if self._memory is not None and key in self._memory:
             self.stats.hits += 1
+            if self.root is not None:
+                # memory-layer hits must keep the disk entry warm too, or
+                # a long-lived process would let prune() evict its hottest
+                # keys by their stale first-read stamp
+                self._touch(self._path(key))
             return self._memory[key]
         result = self._load_disk(key)
         if result is None:
@@ -453,14 +482,18 @@ ORPHAN_GRACE_S = 300.0
 def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
     """Bound the result store; returns (entries removed, bytes freed).
 
-    Result entries are evicted oldest-access-first (file mtime) until the
-    result+blob footprint fits ``max_bytes``.  Passing ``None`` removes
-    **every** result entry -- it is deliberately not a default so the
-    full wipe is always an explicit choice (the CLI's ``--all``).
-    Orphaned trace blobs older than :data:`ORPHAN_GRACE_S` are always
-    collected; younger ones may belong to a concurrent writer whose
-    summary has not landed yet.  The model store (``<root>/models``) is
-    never touched -- models are tiny and cost ~10 s to rebuild.
+    Result entries are evicted oldest-accessed-first until the
+    result+blob footprint fits ``max_bytes``: every successful
+    :meth:`ResultCache.get` read bumps the summary file's mtime
+    (best-effort ``os.utime``), so the mtime order walked here is LRU --
+    entries a warm grid keeps answering from survive, write-once-read-
+    never debris goes first.  Passing ``None`` removes **every** result
+    entry -- it is deliberately not a default so the full wipe is always
+    an explicit choice (the CLI's ``--all``).  Orphaned trace blobs older
+    than :data:`ORPHAN_GRACE_S` are always collected; younger ones may
+    belong to a concurrent writer whose summary has not landed yet.  The
+    model store (``<root>/models``) is never touched -- models are tiny
+    and cost ~10 s to rebuild.
     """
     root = os.path.abspath(root)
     if not os.path.isdir(root):

@@ -1,23 +1,61 @@
-"""Executing one :class:`RunSpec` -- the runner's unit of work.
+"""Executing :class:`RunSpec`\\ s -- the runner's units of work.
 
-This is the single place that turns a declarative spec into a configured
-:class:`Simulator`; the serial path, the process-pool workers and the
+This is the single place that turns declarative specs into configured
+:class:`Simulator`\\ s; the serial path, the process-pool workers and the
 legacy ``repro.sim.experiment`` helpers all funnel through it, which is
 what makes cached, serial and parallel execution byte-identical.
+
+:func:`execute_batch` is the throughput path: it packs *compatible* plain
+specs (same plant shape -- platform spec and control/substep/ambient
+timing) into :class:`~repro.sim.engine.BatchSimulator` batches so one
+process advances many runs per control step.  Because the batched engine
+is byte-identical to the serial one lane-for-lane, batching is purely an
+execution detail: results and cache content keys do not depend on it.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import os
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.core.dtpm import DtpmGovernor
+from repro.errors import ConfigurationError
 from repro.platform.specs import PlatformSpec
-from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.engine import BatchSimulator, Simulator, ThermalMode
 from repro.sim.models import ModelBundle, default_models
 from repro.sim.run_result import RunResult
 from repro.sim.scenario import ScenarioRunner
-from repro.runner.spec import RunSpec
+from repro.runner.spec import RunSpec, canonical_json
+
+#: Environment knob for the in-worker batch width (``repro-dtpm --batch``
+#: takes precedence when given on the command line).
+BATCH_ENV = "REPRO_BATCH"
+
+#: Default number of runs one worker advances per control step.
+DEFAULT_BATCH = 8
+
+
+def default_batch() -> int:
+    """The batch width to use when the caller does not pick one.
+
+    ``$REPRO_BATCH`` overrides the built-in default; ``1`` disables
+    packing (every run steps alone, the pre-batching behaviour).
+    """
+    raw = os.environ.get(BATCH_ENV, "").strip()
+    if not raw:
+        return DEFAULT_BATCH
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            "%s must be a positive integer, got %r" % (BATCH_ENV, raw)
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            "%s must be a positive integer, got %r" % (BATCH_ENV, raw)
+        )
+    return value
 
 
 def make_dtpm_governor(
@@ -46,6 +84,30 @@ def make_dtpm_governor(
     return DtpmGovernor(models.thermal, power, spec=spec, config=config, **kwargs)
 
 
+def build_simulator(
+    spec: RunSpec, models: Optional[ModelBundle] = None
+) -> Simulator:
+    """Configure the :class:`Simulator` for one plain (no-history) spec."""
+    dtpm = None
+    if spec.mode is ThermalMode.DTPM:
+        dtpm = make_dtpm_governor(
+            models,
+            spec=spec.platform,
+            config=spec.config,
+            guard_band_k=spec.guard_band_k,
+        )
+    return Simulator(
+        spec.workload,
+        spec.mode,
+        dtpm=dtpm,
+        spec=spec.platform,
+        config=spec.config,
+        warm_start_c=spec.warm_start_c,
+        max_duration_s=spec.max_duration_s,
+        seed=spec.seed,
+    )
+
+
 def execute_spec(
     spec: RunSpec, models: Optional[ModelBundle] = None
 ) -> RunResult:
@@ -59,26 +121,7 @@ def execute_spec(
     """
     if spec.history:
         return execute_schedule(spec, models)[-1]
-    config = spec.config
-    dtpm = None
-    if spec.mode is ThermalMode.DTPM:
-        dtpm = make_dtpm_governor(
-            models,
-            spec=spec.platform,
-            config=config,
-            guard_band_k=spec.guard_band_k,
-        )
-    sim = Simulator(
-        spec.workload,
-        spec.mode,
-        dtpm=dtpm,
-        spec=spec.platform,
-        config=config,
-        warm_start_c=spec.warm_start_c,
-        max_duration_s=spec.max_duration_s,
-        seed=spec.seed,
-    )
-    return sim.run()
+    return build_simulator(spec, models).run()
 
 
 def execute_schedule(
@@ -115,3 +158,83 @@ def execute_schedule(
         annotate=False,
     )
     return scenario.run(list(spec.schedule))
+
+
+# ---------------------------------------------------------------------------
+# batched execution: many runs per control step inside one process
+# ---------------------------------------------------------------------------
+def plant_shape_key(spec: RunSpec) -> str:
+    """Grouping key of specs whose plants can lock-step in one batch.
+
+    Two runs can share a :class:`BatchSimulator` when their physical
+    plants are identical: same platform spec and same control-period /
+    thermal-substep / ambient timing.  Everything else (mode, workload,
+    seed, duration, noise levels, constraint, guard band) stays per lane.
+    """
+    config = spec.config or SimulationConfig()
+    return canonical_json(
+        {
+            "platform": spec.platform,
+            "control_period_s": config.control_period_s,
+            "thermal_substep_s": config.thermal_substep_s,
+            "ambient_c": config.ambient_c,
+        }
+    )
+
+
+def plan_batches(
+    specs: Sequence[RunSpec], batch_size: int
+) -> List[List[int]]:
+    """Partition spec indices into executable jobs.
+
+    Scheduled (history-carrying) specs execute alone -- their thermal
+    carry-over chains through one :class:`ScenarioRunner`.  Plain specs
+    pack into same-plant-shape groups of at most ``batch_size``, in spec
+    order.  Jobs come back ordered by their first spec index, so serial
+    and pool execution walk the same deterministic plan.
+    """
+    if batch_size < 1:
+        raise ConfigurationError("batch size must be >= 1")
+    jobs: List[List[int]] = []
+    open_groups: Dict[str, List[int]] = {}
+    for i, spec in enumerate(specs):
+        if spec.history or batch_size == 1:
+            jobs.append([i])
+            continue
+        key = plant_shape_key(spec)
+        group = open_groups.setdefault(key, [])
+        group.append(i)
+        if len(group) >= batch_size:
+            jobs.append(group)
+            del open_groups[key]
+    jobs.extend(open_groups.values())
+    jobs.sort(key=lambda job: job[0])
+    return jobs
+
+
+def execute_batch(
+    specs: Sequence[RunSpec],
+    models: Optional[ModelBundle] = None,
+    batch_size: Optional[int] = None,
+) -> List[List[RunResult]]:
+    """Execute specs with in-process batching; chains come back in order.
+
+    The drop-in batched equivalent of ``[execute_schedule(s) for s in
+    specs]``: element ``i`` is spec ``i``'s full chain of results (a
+    single-element list for plain specs).  Compatible plain specs advance
+    together through one :class:`~repro.sim.engine.BatchSimulator`;
+    because the batched engine is lane-for-lane byte-identical to the
+    serial one, the batch width never changes any result.
+    """
+    specs = list(specs)
+    if batch_size is None:
+        batch_size = default_batch()
+    results: List[Optional[List[RunResult]]] = [None] * len(specs)
+    for job in plan_batches(specs, batch_size):
+        if len(job) == 1 and (specs[job[0]].history or batch_size == 1):
+            results[job[0]] = execute_schedule(specs[job[0]], models)
+            continue
+        sims = [build_simulator(specs[i], models) for i in job]
+        for i, result in zip(job, BatchSimulator(sims).run()):
+            results[i] = [result]
+    return results

@@ -36,7 +36,9 @@ from repro.workloads.trace import WorkloadTrace
 
 #: Bumped whenever the simulation semantics behind a cached result change
 #: in a way the spec itself cannot express (trace columns, engine fixes).
-CACHE_FORMAT = 1
+#: 2: the plant went batch-vectorised (einsum/ufunc evaluation replaced
+#: per-run BLAS/scalar calls), which moves results by ~1 ulp.
+CACHE_FORMAT = 2
 
 
 def _canonical(obj):

@@ -8,7 +8,7 @@ from repro.sim.consumers import (
     ViolationCounter,
     replay,
 )
-from repro.sim.engine import Simulator, ThermalMode
+from repro.sim.engine import BatchSimulator, Simulator, ThermalMode
 from repro.sim.experiment import (
     compare_modes,
     dtpm_vs_default,
@@ -45,6 +45,7 @@ __all__ = [
     "TraceConsumer",
     "ViolationCounter",
     "replay",
+    "BatchSimulator",
     "Simulator",
     "ThermalMode",
     "compare_modes",

@@ -5,12 +5,21 @@ kernel's load balancer places threads, ondemand + idle governors propose
 the next configuration, the thermal-management layer of the selected
 experimental configuration (Section 6.2) may overwrite it, the actuators
 apply it (with migration/hotplug stalls), and the physical plant advances.
+
+The physics is batched: a :class:`BatchSimulator` lock-steps ``B``
+independent runs -- each with its own workload, mode, governor and
+controller state -- and advances all their plants per control step
+through one struct-of-arrays kernel
+(:class:`~repro.platform.state.BatchPlant`).  :class:`Simulator` is the
+``B = 1`` view of that same code path, and every batched kernel is
+elementwise over the batch axis, so a batch of ``N`` runs produces traces
+byte-identical to ``N`` runs executed one at a time.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -21,12 +30,13 @@ from repro.governors.base import LoadSample, PlatformConfig
 from repro.governors.idle import IdleGovernor
 from repro.governors.ondemand import OndemandGovernor
 from repro.governors.reactive import ReactiveThrottleGovernor
-from repro.platform.board import OdroidBoard
+from repro.platform.board import OdroidBoard, SensorSnapshot
 from repro.platform.specs import (
     HOTPLUG_PENALTY_S,
     PlatformSpec,
     Resource,
 )
+from repro.platform.state import BatchPlant
 from repro.sim.consumers import TraceConsumer, ViolationCounter
 from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
 from repro.sim.scheduler import LoadBalancer
@@ -96,140 +106,13 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
-        """Execute the benchmark to completion (or the duration cap)."""
-        board = self.board
-        config_sim = self.config
-        dt = config_sim.control_period_s
-        substeps = config_sim.substeps_per_control
-        sub_dt = config_sim.thermal_substep_s
+        """Execute the benchmark to completion (or the duration cap).
 
-        if self.warm_start_c is not None:
-            board.warm_start(self.warm_start_c)
-        if self.dtpm is not None:
-            self.dtpm.reset()
-
-        progress = WorkloadProgress(self.workload)
-        recorder = TraceRecorder(RUN_COLUMNS)
-        current = PlatformConfig(
-            cluster=Resource.BIG,
-            big_freq_hz=self.spec.big_opp.f_min_hz,
-            little_freq_hz=self.spec.little_opp.f_min_hz,
-            gpu_freq_hz=self.spec.gpu_opp.f_min_hz,
-            big_online=self.spec.cores_per_cluster,
-            little_online=self.spec.cores_per_cluster,
-        )
-        self._apply(current, current, None)
-
-        pending_freeze_s = 0.0
-        migrations = 0
-        offlined = 0
-        # violation/intervention counting is a streaming consumer like any
-        # other observer of the recorded trace
-        counters = ViolationCounter()
-        observers = [counters] + self.consumers
-        for consumer in observers:
-            consumer.on_run_start(
-                self.workload.name, self.mode.value, RUN_COLUMNS
-            )
-
-        while not progress.done and board.time_s < self.max_duration_s:
-            # 1. place threads and account work for this interval
-            frozen = min(pending_freeze_s, dt)
-            pending_freeze_s -= frozen
-            sched = self.scheduler.assign(
-                self.workload, progress, current, dt, frozen_s=frozen
-            )
-
-            # 2. advance the physical plant
-            for _ in range(substeps):
-                board.step(
-                    sched.big_utils,
-                    sched.little_utils,
-                    sched.gpu_util,
-                    sched.mem_traffic,
-                    sub_dt,
-                    cpu_activity=sched.cpu_activity,
-                    gpu_activity=sched.gpu_activity,
-                )
-            progress.retire(sched.work_gcycles, dt)
-            snapshot = board.read_sensors()
-
-            # 3. default governors propose the next configuration
-            proposal = self._propose(sched, current, snapshot.time_s)
-
-            # 4. thermal management layer
-            outcome = None
-            if self.mode is ThermalMode.REACTIVE:
-                final = self.reactive.control(
-                    snapshot.max_temperature_k, proposal
-                )
-            elif self.mode is ThermalMode.DTPM:
-                outcome = self.dtpm.control(
-                    snapshot,
-                    current,
-                    proposal,
-                    gpu_active=self.workload.uses_gpu,
-                )
-                final = outcome.config
-            else:
-                final = proposal
-
-            # 5. actuate, paying migration/hotplug penalties
-            penalty, migrated, cores_changed = self._apply(
-                final, current, outcome
-            )
-            pending_freeze_s += penalty
-            migrations += int(migrated)
-            offlined += cores_changed
-
-            # 6. record and publish to the streaming consumers
-            temps_c = snapshot.temperatures_k - KELVIN_OFFSET
-            interval = dict(
-                time_s=board.time_s,
-                max_temp_c=float(np.max(temps_c)),
-                true_max_temp_c=float(np.max(board.true_hotspots_k()))
-                - KELVIN_OFFSET,
-                temp0_c=temps_c[0],
-                temp1_c=temps_c[1],
-                temp2_c=temps_c[2],
-                temp3_c=temps_c[3],
-                big_freq_hz=final.big_freq_hz,
-                little_freq_hz=final.little_freq_hz,
-                gpu_freq_hz=final.gpu_freq_hz,
-                cluster_is_big=float(final.cluster is Resource.BIG),
-                online_cores=float(final.active_online),
-                fan_speed=float(int(board.fan.speed)),
-                platform_power_w=snapshot.platform_power_w,
-                p_big_w=float(snapshot.powers_w[0]),
-                p_little_w=float(snapshot.powers_w[1]),
-                p_gpu_w=float(snapshot.powers_w[2]),
-                p_mem_w=float(snapshot.powers_w[3]),
-                violation_predicted=float(
-                    bool(outcome and outcome.violation_predicted)
-                ),
-                intervened=float(bool(outcome and outcome.intervened)),
-            )
-            recorder.append(**interval)
-            for consumer in observers:
-                consumer.on_interval(interval)
-            current = final
-
-        result = RunResult(
-            benchmark=self.workload.name,
-            mode=self.mode.value,
-            completed=progress.done,
-            execution_time_s=board.time_s,
-            average_platform_power_w=board.meter.average_power_w,
-            energy_j=board.meter.energy_j,
-            trace=recorder,
-            interventions=counters.interventions,
-            violations_predicted=counters.violations,
-            cluster_migrations=migrations,
-            cores_offlined=offlined,
-        )
-        for consumer in self.consumers:
-            consumer.on_run_end(result)
-        return result
+        The B=1 view of :class:`BatchSimulator`: one run goes through
+        exactly the code path a batch of many does, which is what makes
+        batched and serial execution byte-identical.
+        """
+        return BatchSimulator([self]).run()[0]
 
     # ------------------------------------------------------------------
     def _propose(
@@ -318,3 +201,247 @@ class Simulator:
                     changes += 1
                     break
         return changes
+
+
+class _Lane:
+    """Per-run control state of one :class:`BatchSimulator` lane."""
+
+    __slots__ = (
+        "sim",
+        "progress",
+        "recorder",
+        "counters",
+        "observers",
+        "current",
+        "pending_freeze_s",
+        "migrations",
+        "offlined",
+    )
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.progress = WorkloadProgress(sim.workload)
+        self.recorder = TraceRecorder(RUN_COLUMNS)
+        # violation/intervention counting is a streaming consumer like any
+        # other observer of the recorded trace
+        self.counters = ViolationCounter()
+        self.observers = [self.counters] + sim.consumers
+        self.current = PlatformConfig(
+            cluster=Resource.BIG,
+            big_freq_hz=sim.spec.big_opp.f_min_hz,
+            little_freq_hz=sim.spec.little_opp.f_min_hz,
+            gpu_freq_hz=sim.spec.gpu_opp.f_min_hz,
+            big_online=sim.spec.cores_per_cluster,
+            little_online=sim.spec.cores_per_cluster,
+        )
+        self.pending_freeze_s = 0.0
+        self.migrations = 0
+        self.offlined = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether this lane still has work and time budget left."""
+        return (
+            not self.progress.done
+            and self.sim.board.time_s < self.sim.max_duration_s
+        )
+
+    def finish(self) -> RunResult:
+        """Build the lane's result and notify its consumers."""
+        sim = self.sim
+        result = RunResult(
+            benchmark=sim.workload.name,
+            mode=sim.mode.value,
+            completed=self.progress.done,
+            execution_time_s=sim.board.time_s,
+            average_platform_power_w=sim.board.meter.average_power_w,
+            energy_j=sim.board.meter.energy_j,
+            trace=self.recorder,
+            interventions=self.counters.interventions,
+            violations_predicted=self.counters.violations,
+            cluster_migrations=self.migrations,
+            cores_offlined=self.offlined,
+        )
+        for consumer in sim.consumers:
+            consumer.on_run_end(result)
+        return result
+
+
+class BatchSimulator:
+    """Lock-steps ``B`` independent runs through one batched plant.
+
+    Every lane keeps its own workload, thermal mode, governor, controller
+    and RNG state -- the control layer runs per lane, exactly as in a
+    standalone :class:`Simulator` -- while the physics of all lanes
+    advances through one struct-of-arrays NumPy kernel per control step.
+    Lanes that finish (or hit their duration cap) drop out of the batch;
+    the rest keep stepping.
+
+    All lanes must share the plant "shape": the platform spec, the
+    thermal network physics and the control/substep timing
+    (:class:`~repro.config.SimulationConfig` noise knobs, seeds, modes,
+    workloads and durations are free to vary per lane).  Within that
+    contract a batch of ``N`` runs is byte-identical to ``N`` serial
+    runs, because every batched kernel is elementwise over the batch axis
+    and per-lane RNG streams are consumed in the serial order.
+    """
+
+    def __init__(self, sims: Sequence[Simulator]) -> None:
+        if not sims:
+            raise ConfigurationError("a batch needs at least one simulator")
+        if len({id(s) for s in sims}) != len(sims):
+            raise ConfigurationError(
+                "a simulator cannot ride in one batch twice"
+            )
+        first = sims[0]
+        for sim in sims[1:]:
+            if (
+                sim.config.control_period_s != first.config.control_period_s
+                or sim.config.thermal_substep_s
+                != first.config.thermal_substep_s
+            ):
+                raise ConfigurationError(
+                    "batched runs must share the control/substep timing"
+                )
+        self.sims: List[Simulator] = list(sims)
+        # validates spec / thermal-network / fan compatibility
+        self.plant = BatchPlant([sim.board for sim in self.sims])
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[RunResult]:
+        """Execute all lanes to completion; results come back in lane order."""
+        dt = self.sims[0].config.control_period_s
+        substeps = self.sims[0].config.substeps_per_control
+
+        lanes: List[_Lane] = []
+        for sim in self.sims:
+            if sim.warm_start_c is not None:
+                sim.board.warm_start(sim.warm_start_c)
+            if sim.dtpm is not None:
+                sim.dtpm.reset()
+            lane = _Lane(sim)
+            sim._apply(lane.current, lane.current, None)
+            for consumer in lane.observers:
+                consumer.on_run_start(
+                    sim.workload.name, sim.mode.value, RUN_COLUMNS
+                )
+            lanes.append(lane)
+
+        results: List[Optional[RunResult]] = [None] * len(lanes)
+        active = [i for i, lane in enumerate(lanes) if lane.active]
+        for i, lane in enumerate(lanes):
+            if results[i] is None and i not in active:
+                results[i] = lane.finish()
+
+        while active:
+            # 1. place threads and account work for this interval (per lane)
+            scheds = []
+            for i in active:
+                lane = lanes[i]
+                sim = lane.sim
+                frozen = min(lane.pending_freeze_s, dt)
+                lane.pending_freeze_s -= frozen
+                sched = sim.scheduler.assign(
+                    sim.workload, lane.progress, lane.current, dt,
+                    frozen_s=frozen,
+                )
+                scheds.append(sched)
+                sim.board.soc.gpu.set_utilisation(sched.gpu_util)
+                sim.board.soc.mem.set_traffic(sched.mem_traffic)
+
+            # 2. advance every physical plant through one batched kernel
+            state = self.plant.gather(active)
+            self.plant.advance_interval(
+                state,
+                active,
+                np.array([s.big_utils for s in scheds]),
+                np.array([s.little_utils for s in scheds]),
+                np.array([s.cpu_activity for s in scheds]),
+                np.array([s.gpu_activity for s in scheds]),
+                self.sims[0].config.thermal_substep_s,
+                substeps,
+            )
+            self.plant.scatter(state, active)
+            hotspots = self.plant.hotspots_k(state)
+
+            # 3-6. per-lane control: governors, thermal layer, actuation,
+            # recording -- each lane exactly as a standalone run
+            still_active = []
+            for pos, i in enumerate(active):
+                lane = lanes[i]
+                sim = lane.sim
+                sched = scheds[pos]
+                lane.progress.retire(sched.work_gcycles, dt)
+                temps_k, powers_w = sim.board.sensors.read_all(
+                    hotspots[pos], state.powers_w[pos]
+                )
+                snapshot = SensorSnapshot(
+                    time_s=sim.board.time_s,
+                    temperatures_k=temps_k,
+                    powers_w=powers_w,
+                    platform_power_w=sim.board.meter.last_reading_w,
+                )
+
+                proposal = sim._propose(sched, lane.current, snapshot.time_s)
+
+                outcome = None
+                if sim.mode is ThermalMode.REACTIVE:
+                    final = sim.reactive.control(
+                        snapshot.max_temperature_k, proposal
+                    )
+                elif sim.mode is ThermalMode.DTPM:
+                    outcome = sim.dtpm.control(
+                        snapshot,
+                        lane.current,
+                        proposal,
+                        gpu_active=sim.workload.uses_gpu,
+                    )
+                    final = outcome.config
+                else:
+                    final = proposal
+
+                penalty, migrated, cores_changed = sim._apply(
+                    final, lane.current, outcome
+                )
+                lane.pending_freeze_s += penalty
+                lane.migrations += int(migrated)
+                lane.offlined += cores_changed
+
+                temps_c = snapshot.temperatures_k - KELVIN_OFFSET
+                interval = dict(
+                    time_s=sim.board.time_s,
+                    max_temp_c=float(np.max(temps_c)),
+                    true_max_temp_c=float(np.max(hotspots[pos]))
+                    - KELVIN_OFFSET,
+                    temp0_c=temps_c[0],
+                    temp1_c=temps_c[1],
+                    temp2_c=temps_c[2],
+                    temp3_c=temps_c[3],
+                    big_freq_hz=final.big_freq_hz,
+                    little_freq_hz=final.little_freq_hz,
+                    gpu_freq_hz=final.gpu_freq_hz,
+                    cluster_is_big=float(final.cluster is Resource.BIG),
+                    online_cores=float(final.active_online),
+                    fan_speed=float(int(sim.board.fan.speed)),
+                    platform_power_w=snapshot.platform_power_w,
+                    p_big_w=float(snapshot.powers_w[0]),
+                    p_little_w=float(snapshot.powers_w[1]),
+                    p_gpu_w=float(snapshot.powers_w[2]),
+                    p_mem_w=float(snapshot.powers_w[3]),
+                    violation_predicted=float(
+                        bool(outcome and outcome.violation_predicted)
+                    ),
+                    intervened=float(bool(outcome and outcome.intervened)),
+                )
+                lane.recorder.append(**interval)
+                for consumer in lane.observers:
+                    consumer.on_interval(interval)
+                lane.current = final
+
+                if lane.active:
+                    still_active.append(i)
+                else:
+                    results[i] = lane.finish()
+            active = still_active
+
+        return results

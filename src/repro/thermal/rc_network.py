@@ -131,6 +131,24 @@ class ThermalRCNetwork:
         """Copy of all node temperatures (K)."""
         return self._temps_k.copy()
 
+    def physics_equal(self, other: "ThermalRCNetwork") -> bool:
+        """Whether two networks share identical physical parameters.
+
+        State (temperatures, cooling gain) is excluded -- this is the
+        compatibility test the batched plant uses to decide that one
+        discretisation cache can serve every lane.
+        """
+        return (
+            self.ambient_k == other.ambient_k
+            and self.nonlinear_cooling_coeff == other.nonlinear_cooling_coeff
+            and tuple(n.name for n in self.nodes)
+            == tuple(n.name for n in other.nodes)
+            and np.array_equal(self._g_coupling, other._g_coupling)
+            and np.array_equal(self._g_ambient, other._g_ambient)
+            and np.array_equal(self._capacitance, other._capacitance)
+            and np.array_equal(self._cooled_mask, other._cooled_mask)
+        )
+
     def temperature_k(self, name: str) -> float:
         """Temperature of one node (K)."""
         return float(self._temps_k[self.index(name)])
@@ -164,11 +182,23 @@ class ThermalRCNetwork:
     # ------------------------------------------------------------------
     def _nonlinear_factor(self) -> float:
         """Quantised hot-case cooling improvement factor (>= 1)."""
+        return float(self.nonlinear_factors(self._temps_k[np.newaxis, :])[0])
+
+    def nonlinear_factors(self, temps_k: np.ndarray) -> np.ndarray:
+        """Per-lane quantised cooling factors for a ``(B, N)`` temp batch.
+
+        Every operation is elementwise over the batch axis (the only
+        reduction runs over the fixed cooled-node axis), so lane ``b`` of a
+        batch gets exactly the value a standalone ``(1, N)`` call would.
+        """
+        batch = temps_k.shape[0]
         if self.nonlinear_cooling_coeff <= 0 or not np.any(self._cooled_mask):
-            return 1.0
-        delta = float(np.mean(self._temps_k[self._cooled_mask])) - self.ambient_k
-        factor = 1.0 + self.nonlinear_cooling_coeff * max(0.0, delta)
-        return round(factor / 0.05) * 0.05
+            return np.ones(batch)
+        delta = (
+            np.mean(temps_k[:, self._cooled_mask], axis=1) - self.ambient_k
+        )
+        factor = 1.0 + self.nonlinear_cooling_coeff * np.maximum(0.0, delta)
+        return np.round(factor / 0.05) * 0.05
 
     def _effective_g(self, gain: float) -> np.ndarray:
         """Full conductance matrix including (fan-scaled) ambient legs."""
@@ -202,20 +232,78 @@ class ThermalRCNetwork:
         return ad, bd
 
     def step(self, power_w: Sequence[float], dt_s: float) -> np.ndarray:
-        """Advance the network by ``dt_s`` under constant node powers (W)."""
-        if dt_s <= 0:
-            raise SimulationError("dt must be positive")
+        """Advance the network by ``dt_s`` under constant node powers (W).
+
+        This is the B=1 view of :meth:`step_batch`, so a standalone
+        network and one lane of a batched plant integrate through the
+        same code path (and therefore bit-identically).
+        """
         p = np.asarray(power_w, dtype=float)
         if p.shape != (self.num_nodes,):
             raise SimulationError(
                 "expected %d node powers, got shape %s" % (self.num_nodes, p.shape)
             )
-        ad, bd = self._discretise(
-            dt_s, self._cooling_gain * self._nonlinear_factor()
-        )
-        u = np.concatenate([p, [self.ambient_k]])
-        self._temps_k = ad @ self._temps_k + bd @ u
+        self._temps_k = self.step_batch(
+            self._temps_k[np.newaxis, :],
+            p[np.newaxis, :],
+            dt_s,
+            np.array([self._cooling_gain]),
+        )[0]
         return self._temps_k.copy()
+
+    def step_batch(
+        self,
+        temps_k: np.ndarray,
+        power_w: np.ndarray,
+        dt_s: float,
+        cooling_gains: np.ndarray,
+    ) -> np.ndarray:
+        """Advance ``B`` independent thermal states by one substep.
+
+        Parameters
+        ----------
+        temps_k:
+            ``(B, N)`` node temperatures, one row per lane.  Not mutated;
+            the instance's own state is untouched (lanes own their state).
+        power_w:
+            ``(B, N)`` node powers.
+        cooling_gains:
+            ``(B,)`` fan-driven multipliers on the cooled nodes' ambient
+            conductance (each lane's fan runs its own controller).
+
+        Lanes sharing an effective conductance are integrated with one
+        cached ``(Ad, Bd)`` pair; the per-lane update is an ``einsum``
+        over the fixed node axis, so each lane's result is independent of
+        which other lanes ride in the batch -- the property the
+        batch/serial byte-identity contract rests on.
+        """
+        if dt_s <= 0:
+            raise SimulationError("dt must be positive")
+        temps_k = np.asarray(temps_k, dtype=float)
+        power_w = np.asarray(power_w, dtype=float)
+        batch = temps_k.shape[0]
+        if temps_k.shape != (batch, self.num_nodes) or power_w.shape != (
+            batch,
+            self.num_nodes,
+        ):
+            raise SimulationError(
+                "expected (B, %d) temps and powers, got %s and %s"
+                % (self.num_nodes, temps_k.shape, power_w.shape)
+            )
+        gains = np.asarray(cooling_gains, dtype=float) * self.nonlinear_factors(
+            temps_k
+        )
+        u = np.concatenate(
+            [power_w, np.full((batch, 1), self.ambient_k)], axis=1
+        )
+        out = np.empty_like(temps_k)
+        for gain in np.unique(gains):
+            lanes = gains == gain
+            ad, bd = self._discretise(dt_s, float(gain))
+            out[lanes] = np.einsum(
+                "ij,bj->bi", ad, temps_k[lanes]
+            ) + np.einsum("ij,bj->bi", bd, u[lanes])
+        return out
 
     def steady_state_k(self, power_w: Sequence[float]) -> np.ndarray:
         """Steady-state temperatures for constant node powers (K).

@@ -96,6 +96,40 @@ class DiscreteThermalModel:
         p = self._check_input(powers)
         return self.a @ t + self.b @ p + self.offset
 
+    def predict_next_batch(
+        self, temps: np.ndarray, powers: np.ndarray
+    ) -> np.ndarray:
+        """One-step prediction for ``B`` independent states at once.
+
+        ``temps`` has shape (B, N) and ``powers`` (B, M); returns (B, N).
+        The contraction runs over the fixed state/input axes only (einsum,
+        no BLAS), so row ``b`` equals ``predict_next(temps[b], powers[b])``
+        for every batch size -- the batched controller evaluation can be
+        checked lane-for-lane against the scalar one.
+        """
+        t = np.atleast_2d(np.asarray(temps, dtype=float))
+        p = np.atleast_2d(np.asarray(powers, dtype=float))
+        if t.shape[1] != self.num_states:
+            raise ModelError(
+                "expected %d temperature columns, got %d"
+                % (self.num_states, t.shape[1])
+            )
+        if p.shape[1] != self.num_inputs:
+            raise ModelError(
+                "expected %d power columns, got %d"
+                % (self.num_inputs, p.shape[1])
+            )
+        if t.shape[0] != p.shape[0]:
+            raise ModelError(
+                "batch sizes differ: %d temps vs %d powers"
+                % (t.shape[0], p.shape[0])
+            )
+        return (
+            np.einsum("ij,bj->bi", self.a, t)
+            + np.einsum("ij,bj->bi", self.b, p)
+            + self.offset
+        )
+
     def predict_horizon(
         self,
         temps: Sequence[float],

@@ -49,7 +49,7 @@ def test_recorder_grows_past_initial_capacity():
     assert len(rec) == n
     assert rec.capacity >= n
     assert np.allclose(rec.column("a"), np.arange(n, dtype=float))
-    assert rec.rows()[-1] == [float(n - 1), float(2 * (n - 1))]
+    assert rec.array()[-1].tolist() == [float(n - 1), float(2 * (n - 1))]
 
 
 def test_recorder_accessors_are_views():
@@ -68,12 +68,15 @@ def test_recorder_accessors_are_views():
 def test_from_rows_round_trip_and_validation():
     rec = TraceRecorder(["a", "b"])
     rec.append(a=1.0, b=2.0)
-    clone = TraceRecorder.from_rows(clone_cols := rec.columns, rec.rows())
+    with pytest.deprecated_call():
+        rows = rec.rows()
+    with pytest.deprecated_call():
+        clone = TraceRecorder.from_rows(clone_cols := rec.columns, rows)
     assert clone.columns == clone_cols
-    assert clone.rows() == rec.rows()
-    with pytest.raises(SimulationError):
+    assert clone.array().tolist() == rec.array().tolist()
+    with pytest.deprecated_call(), pytest.raises(SimulationError):
         TraceRecorder.from_rows(["a", "b"], [[1.0, 2.0], [3.0]])  # ragged
-    with pytest.raises(SimulationError):
+    with pytest.deprecated_call(), pytest.raises(SimulationError):
         TraceRecorder.from_rows(["a", "b"], [[1.0, 2.0, 3.0]])  # too wide
 
 

@@ -206,6 +206,43 @@ def test_disk_usage_and_prune(tmp_path, workload, result):
     assert disk_usage(str(tmp_path)).entries == 0
 
 
+def test_read_touches_entry_and_prune_is_lru(tmp_path, workload, result):
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    keys = [
+        spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN, seed=s))
+        for s in range(3)
+    ]
+    for key in keys:
+        cache.put(key, result)
+    # backdate every summary, then read the *oldest-written* entry: the
+    # access touch must move it to the head of the survival order
+    paths = [
+        os.path.join(str(tmp_path), k[:2], k + ".json") for k in keys
+    ]
+    for age, path in zip((3000.0, 2000.0, 1000.0), paths):
+        stamp = os.path.getmtime(path) - age
+        os.utime(path, (stamp, stamp))
+    before = os.path.getmtime(paths[0])
+    assert cache.get(keys[0]) is not None
+    assert os.path.getmtime(paths[0]) > before
+
+    per_entry = disk_usage(str(tmp_path)).total_bytes // 3
+    removed, _ = prune(str(tmp_path), max_bytes=per_entry + 16)
+    assert removed == 2
+    # the recently-read entry survived; the unread ones were evicted
+    assert os.path.exists(paths[0])
+    assert not os.path.exists(paths[1]) and not os.path.exists(paths[2])
+
+    # memory-layer hits keep the disk stamp warm too (a long-lived
+    # process must not let prune evict its hottest keys)
+    warm = ResultCache(root=str(tmp_path))
+    assert warm.get(keys[0]) is not None  # disk load fills the memory layer
+    stamp = os.path.getmtime(paths[0])
+    os.utime(paths[0], (stamp - 500.0, stamp - 500.0))
+    assert warm.get(keys[0]) is not None  # memory hit
+    assert os.path.getmtime(paths[0]) > stamp - 500.0
+
+
 def test_prune_collects_stale_orphan_blobs_keeps_models(tmp_path):
     shard = tmp_path / "ab"
     shard.mkdir()
