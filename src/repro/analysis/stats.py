@@ -62,7 +62,7 @@ def stability_stats_streaming(
 ) -> StabilityStats:
     """:func:`stability_stats` computed incrementally (one trace pass)."""
     consumer = streaming_stability(result, skip_s)
-    if consumer.settled.count == 0:
+    if consumer.settled_samples == 0:
         raise SimulationError("run trace too short for stability metrics")
     return StabilityStats(
         mode=result.mode,

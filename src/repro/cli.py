@@ -18,7 +18,10 @@ control step; defaults to ``$REPRO_BATCH`` or 8) and ``--cache-dir DIR``
 (content-addressed result cache; defaults to ``$REPRO_CACHE_DIR`` when
 set), so repeated invocations are near-free.
 ``matrix`` additionally takes ``--schedule A,B,...`` (repeatable) to run
-back-to-back app sequences with thermal-state carryover on the grid.
+back-to-back app sequences with thermal-state carryover on the grid;
+positions may pin their own thermal mode (``A:dtpm,B``), and ``--days N``
+repeats each schedule as a diurnal pattern (consecutive days separated by
+an overnight standby position, see :func:`repro.sim.scenario.diurnal`).
 Exposed as the ``repro-dtpm`` console script as well.
 """
 
@@ -274,15 +277,47 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _parse_schedule_arg(text: str):
+    """One ``--schedule`` value: comma-separated ``name[:mode]`` entries."""
+    entries = []
+    for token in text.split(","):
+        name, sep, mode = token.partition(":")
+        if not sep:
+            entries.append(name)
+            continue
+        if mode not in _MODES:
+            raise ConfigurationError(
+                "unknown mode %r in schedule entry %r (choose from %s)"
+                % (mode, token, ", ".join(sorted(_MODES)))
+            )
+        entries.append((name, _MODES[mode]))
+    return tuple(entries)
+
+
 def _cmd_matrix(args) -> int:
     from repro.errors import WorkloadError
+    from repro.sim.scenario import diurnal
 
-    schedules = tuple(
-        tuple(s.split(",")) for s in (args.schedule or ())
-    )
+    try:
+        schedules = tuple(
+            _parse_schedule_arg(s) for s in (args.schedule or ())
+        )
+        if args.days > 1:
+            schedules = tuple(
+                diurnal(schedule, days=args.days) for schedule in schedules
+            )
+    except (WorkloadError, ConfigurationError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
     if args.idle_gap and not schedules:
         print(
             "error: --idle-gap only applies to --schedule sequences",
+            file=sys.stderr,
+        )
+        return 2
+    if args.days > 1 and not schedules:
+        print(
+            "error: --days only applies to --schedule sequences",
             file=sys.stderr,
         )
         return 2
@@ -311,7 +346,9 @@ def _cmd_matrix(args) -> int:
     except (WorkloadError, ConfigurationError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
-    needs_models = any(m is ThermalMode.DTPM for m in modes)
+    # pinned schedule positions can pull DTPM into a grid whose mode axis
+    # has none, so ask the expanded specs rather than the axis
+    needs_models = any(s.needs_models for s in matrix.specs())
     runner = _make_runner(
         args, models=_load_models(args) if needs_models else None
     )
@@ -470,11 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "or none when --schedule is given)")
     p_mat.add_argument("--modes",
                        help="comma-separated modes (default: all four)")
-    p_mat.add_argument("--schedule", action="append", metavar="B1,B2,...",
+    p_mat.add_argument("--schedule", action="append", metavar="B1[:MODE],B2,...",
                        help="back-to-back benchmark sequence run with "
-                            "thermal-state carryover (repeatable)")
+                            "thermal-state carryover (repeatable); a "
+                            "position may pin its own thermal mode, the "
+                            "rest follow the --modes axis")
     p_mat.add_argument("--idle-gap", type=float, default=0.0,
                        help="idle seconds between schedule runs (default: 0)")
+    p_mat.add_argument("--days", type=_positive_int, default=1,
+                       help="repeat each schedule as a diurnal pattern of "
+                            "this many days, separated by overnight standby "
+                            "positions (default: 1)")
     _add_runner_args(p_mat)
     p_mat.set_defaults(func=_cmd_matrix)
 

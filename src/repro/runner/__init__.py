@@ -39,6 +39,7 @@ from repro.runner.execute import (
     default_batch,
     execute_batch,
     execute_schedule,
+    execute_schedules,
     execute_spec,
     make_dtpm_governor,
     plan_batches,
@@ -81,6 +82,7 @@ __all__ = [
     "disk_usage",
     "execute_batch",
     "execute_schedule",
+    "execute_schedules",
     "plan_batches",
     "plant_shape_key",
     "load_trace_blob",

@@ -494,6 +494,16 @@ def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
     belong to a concurrent writer whose summary has not landed yet.  The
     model store (``<root>/models``) is never touched -- models are tiny
     and cost ~10 s to rebuild.
+
+    Pruning is safe against concurrent readers: each entry's trace blob
+    is unlinked *before* its summary, so the store never holds an
+    unindexed blob (which would leak outside the orphan grace window if
+    a pruner died between the two unlinks) -- at worst a reader sees a
+    summary whose blob is gone, which :meth:`ResultCache.get` already
+    treats as a clean miss, and the half-removed entry stays listed for
+    the next prune.  A reader holding an open handle or memory map into
+    a blob keeps its data (POSIX unlink semantics); files a concurrent
+    pruner removed first are simply skipped, never an error.
     """
     root = os.path.abspath(root)
     if not os.path.isdir(root):
@@ -536,11 +546,27 @@ def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
     for mtime, size, json_path, blob_path in sorted(entries):
         if budget >= 0 and total <= budget:
             break
-        # summary first so a concurrent reader can never resurrect the entry
-        os.unlink(json_path)
-        if blob_path is not None:
-            os.unlink(blob_path)
-        total -= size
-        freed += size
-        removed += 1
+        # blob before summary: a crash between the unlinks leaves a
+        # summary readers treat as a miss (and the next prune still
+        # lists), never an unindexed blob leaking past the grace window
+        paths = [p for p in (blob_path, json_path) if p is not None]
+        gone = 0
+        for path in paths:
+            try:
+                os.unlink(path)
+                gone += 1
+            except FileNotFoundError:
+                gone += 1  # a concurrent pruner got there first
+            except OSError:
+                # undeletable (permissions, a platform that locks mapped
+                # files): keep the rest of the entry -- deleting the
+                # summary after a stuck blob would orphan the blob
+                # outside the index, exactly what blob-first prevents
+                break
+        if gone == len(paths):
+            total -= size
+            freed += size
+            removed += 1
+        # an undeletable entry keeps its footprint counted, so the walk
+        # continues into newer entries until the budget is really met
     return removed, freed

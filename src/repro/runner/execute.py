@@ -5,12 +5,16 @@ This is the single place that turns declarative specs into configured
 legacy ``repro.sim.experiment`` helpers all funnel through it, which is
 what makes cached, serial and parallel execution byte-identical.
 
-:func:`execute_batch` is the throughput path: it packs *compatible* plain
-specs (same plant shape -- platform spec and control/substep/ambient
-timing) into :class:`~repro.sim.engine.BatchSimulator` batches so one
-process advances many runs per control step.  Because the batched engine
-is byte-identical to the serial one lane-for-lane, batching is purely an
-execution detail: results and cache content keys do not depend on it.
+:func:`execute_batch` is the throughput path: it packs *compatible* specs
+(same plant shape -- platform spec and control/substep/ambient timing)
+into batches so one process advances many runs per control step.  Plain
+specs lock-step through a :class:`~repro.sim.engine.BatchSimulator`;
+scheduled (history-carrying) specs of the same plant shape and chain
+length lock-step through a
+:class:`~repro.sim.scenario.BatchScenarioRunner` with aligned chain
+positions.  Because the batched engines are byte-identical to the serial
+ones lane-for-lane, batching is purely an execution detail: results and
+cache content keys do not depend on it.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.platform.specs import PlatformSpec
 from repro.sim.engine import BatchSimulator, Simulator, ThermalMode
 from repro.sim.models import ModelBundle, default_models
 from repro.sim.run_result import RunResult
-from repro.sim.scenario import ScenarioRunner
+from repro.sim.scenario import BatchScenarioRunner, ScenarioRunner
 from repro.runner.spec import RunSpec, canonical_json
 
 #: Environment knob for the in-worker batch width (``repro-dtpm --batch``
@@ -138,15 +142,22 @@ def execute_schedule(
     """
     if not spec.history:
         return [execute_spec(spec, models)]
+    return execute_schedules([spec], models)[0]
+
+
+def _scenario_runner(
+    spec: RunSpec, models: Optional[ModelBundle]
+) -> ScenarioRunner:
+    """One lane's (governor-equipped) scenario runner for a scheduled spec."""
     dtpm = None
-    if spec.mode is ThermalMode.DTPM:
+    if spec.needs_models:
         dtpm = make_dtpm_governor(
             models,
             spec=spec.platform,
             config=spec.config,
             guard_band_k=spec.guard_band_k,
         )
-    scenario = ScenarioRunner(
+    return ScenarioRunner(
         spec.mode,
         dtpm=dtpm,
         spec=spec.platform,
@@ -157,7 +168,27 @@ def execute_schedule(
         base_seed=spec.seed,
         annotate=False,
     )
-    return scenario.run(list(spec.schedule))
+
+
+def execute_schedules(
+    specs: Sequence[RunSpec], models: Optional[ModelBundle] = None
+) -> List[List[RunResult]]:
+    """Run several scenario chains in lock-step; element ``i`` is spec
+    ``i``'s full chain of results.
+
+    All specs must be scheduled (non-empty ``history``) and share one
+    plant shape (:func:`plant_shape_key`); chain lengths, modes, seeds
+    and idle gaps are free to vary per lane.  The chains advance through
+    one :class:`~repro.sim.scenario.BatchScenarioRunner` -- aligned
+    positions, batched idle gaps, per-lane governor carry-over -- and a
+    batch of ``N`` chains is byte-identical to ``N`` serial
+    :func:`execute_schedule` calls.
+    """
+    runners = [_scenario_runner(spec, models) for spec in specs]
+    return BatchScenarioRunner(runners).run(
+        [list(spec.schedule) for spec in specs],
+        [list(spec.schedule_modes) for spec in specs],
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -187,21 +218,28 @@ def plan_batches(
 ) -> List[List[int]]:
     """Partition spec indices into executable jobs.
 
-    Scheduled (history-carrying) specs execute alone -- their thermal
-    carry-over chains through one :class:`ScenarioRunner`.  Plain specs
-    pack into same-plant-shape groups of at most ``batch_size``, in spec
-    order.  Jobs come back ordered by their first spec index, so serial
-    and pool execution walk the same deterministic plan.
+    Plain specs pack into same-plant-shape groups of at most
+    ``batch_size``, in spec order.  Scheduled (history-carrying) specs
+    pack likewise, but only with schedules of the same chain length --
+    their chain positions lock-step through one
+    :class:`~repro.sim.scenario.BatchScenarioRunner`, so aligned lanes
+    keep every position of the batch busy.  Plain and scheduled specs
+    never share a job (their execution engines differ).  Jobs come back
+    ordered by their first spec index, so serial and pool execution walk
+    the same deterministic plan.
     """
     if batch_size < 1:
         raise ConfigurationError("batch size must be >= 1")
     jobs: List[List[int]] = []
-    open_groups: Dict[str, List[int]] = {}
+    open_groups: Dict[object, List[int]] = {}
     for i, spec in enumerate(specs):
-        if spec.history or batch_size == 1:
+        if batch_size == 1:
             jobs.append([i])
             continue
-        key = plant_shape_key(spec)
+        if spec.history:
+            key = ("schedule", plant_shape_key(spec), len(spec.schedule))
+        else:
+            key = ("plain", plant_shape_key(spec))
         group = open_groups.setdefault(key, [])
         group.append(i)
         if len(group) >= batch_size:
@@ -223,16 +261,24 @@ def execute_batch(
     specs]``: element ``i`` is spec ``i``'s full chain of results (a
     single-element list for plain specs).  Compatible plain specs advance
     together through one :class:`~repro.sim.engine.BatchSimulator`;
-    because the batched engine is lane-for-lane byte-identical to the
-    serial one, the batch width never changes any result.
+    compatible scheduled specs lock-step their chains through one
+    :class:`~repro.sim.scenario.BatchScenarioRunner`.  Because the
+    batched engines are lane-for-lane byte-identical to the serial ones,
+    the batch width never changes any result.
     """
     specs = list(specs)
     if batch_size is None:
         batch_size = default_batch()
     results: List[Optional[List[RunResult]]] = [None] * len(specs)
     for job in plan_batches(specs, batch_size):
-        if len(job) == 1 and (specs[job[0]].history or batch_size == 1):
+        if len(job) == 1 and batch_size == 1:
             results[job[0]] = execute_schedule(specs[job[0]], models)
+            continue
+        if specs[job[0]].history:
+            for i, chain in zip(
+                job, execute_schedules([specs[i] for i in job], models)
+            ):
+                results[i] = chain
             continue
         sims = [build_simulator(specs[i], models) for i in job]
         for i, result in zip(job, BatchSimulator(sims).run()):

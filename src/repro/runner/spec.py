@@ -31,6 +31,7 @@ from repro.errors import ConfigurationError
 from repro.platform.specs import PlatformSpec
 from repro.sim.engine import ThermalMode
 from repro.sim.models import ModelBundle
+from repro.sim.scenario import resolve_schedule_entry
 from repro.workloads.benchmarks import get_benchmark
 from repro.workloads.trace import WorkloadTrace
 
@@ -132,6 +133,13 @@ class RunSpec:
     the per-position specs of the whole sequence.  ``warm_start_c`` is
     the device state before the first run of the sequence, and ``seed``
     is the scenario's base seed (position ``i`` runs with ``seed + i``).
+
+    ``history_modes`` optionally gives each history position its own
+    thermal configuration (a day under the stock governor before a
+    DTPM-managed app); empty means every position runs under ``mode``.
+    A ``history_modes`` equal to ``mode`` everywhere normalises to empty,
+    so uniform schedules keep one canonical identity (and their
+    pre-existing cache keys).
     """
 
     workload: WorkloadTrace
@@ -148,10 +156,16 @@ class RunSpec:
     history: Tuple[WorkloadTrace, ...] = ()
     #: Near-idle cooling gap before each carried run of a scenario.
     idle_gap_s: float = 0.0
+    #: Per-position thermal modes of ``history`` (empty: all run ``mode``).
+    history_modes: Tuple[ThermalMode, ...] = ()
 
     #: Omitted from the content key at their defaults so keys (and cached
     #: artifacts) from before the scenario fields existed stay valid.
-    CANONICAL_OMIT_DEFAULTS = {"history": (), "idle_gap_s": 0.0}
+    CANONICAL_OMIT_DEFAULTS = {
+        "history": (),
+        "idle_gap_s": 0.0,
+        "history_modes": (),
+    }
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, WorkloadTrace):
@@ -163,11 +177,6 @@ class RunSpec:
             raise ConfigurationError(
                 "mode must be a ThermalMode (got %r)" % (self.mode,)
             )
-        if self.guard_band_k is not None and self.mode is not ThermalMode.DTPM:
-            raise ConfigurationError(
-                "guard_band_k only applies to DTPM runs (mode is %s)"
-                % self.mode
-            )
         if self.max_duration_s <= 0:
             raise ConfigurationError("max_duration_s must be positive")
         object.__setattr__(self, "history", tuple(self.history))
@@ -177,6 +186,30 @@ class RunSpec:
                     "history entries must be WorkloadTraces (got %r)"
                     % type(w).__name__
                 )
+        object.__setattr__(self, "history_modes", tuple(self.history_modes))
+        for m in self.history_modes:
+            if not isinstance(m, ThermalMode):
+                raise ConfigurationError(
+                    "history_modes entries must be ThermalModes (got %r)"
+                    % (m,)
+                )
+        if self.history_modes:
+            if len(self.history_modes) != len(self.history):
+                raise ConfigurationError(
+                    "history_modes names %d modes for %d history workloads"
+                    % (len(self.history_modes), len(self.history))
+                )
+            # a uniform schedule has one canonical identity: no mode list
+            if all(m is self.mode for m in self.history_modes):
+                object.__setattr__(self, "history_modes", ())
+        if self.guard_band_k is not None and not (
+            self.mode is ThermalMode.DTPM
+            or ThermalMode.DTPM in self.history_modes
+        ):
+            raise ConfigurationError(
+                "guard_band_k only applies to DTPM runs (mode is %s)"
+                % self.mode
+            )
         if self.idle_gap_s < 0:
             raise ConfigurationError("idle_gap_s must be >= 0")
         if self.idle_gap_s and not self.history:
@@ -193,38 +226,66 @@ class RunSpec:
     @property
     def needs_models(self) -> bool:
         """Whether executing this spec requires an identified ModelBundle."""
-        return self.mode is ThermalMode.DTPM
+        return (
+            self.mode is ThermalMode.DTPM
+            or ThermalMode.DTPM in self.history_modes
+        )
 
     @property
     def schedule(self) -> Tuple[WorkloadTrace, ...]:
         """The full workload sequence this spec's execution simulates."""
         return self.history + (self.workload,)
 
+    @property
+    def schedule_modes(self) -> Tuple[ThermalMode, ...]:
+        """Per-position thermal modes of the full schedule."""
+        if self.history_modes:
+            return self.history_modes + (self.mode,)
+        return (self.mode,) * (len(self.history) + 1)
+
     def chain(self) -> List["RunSpec"]:
         """Per-position specs of the schedule, last one being ``self``.
 
         Executing the last position simulates every earlier one on the
         way, so a runner that executes ``chain()[-1]`` can harvest (and
-        cache) all intermediate positions for free.
+        cache) all intermediate positions for free.  A guard band rides
+        only on positions whose sub-chain involves DTPM (it cannot
+        affect a DTPM-free prefix, and specs reject the combination).
         """
         sequence = self.schedule
-        return [
-            dataclasses.replace(
-                self,
-                workload=w,
-                history=sequence[:i],
-                idle_gap_s=self.idle_gap_s if i else 0.0,
+        modes = self.schedule_modes
+        out = []
+        for i, w in enumerate(sequence):
+            guard = (
+                self.guard_band_k
+                if ThermalMode.DTPM in modes[: i + 1]
+                else None
             )
-            for i, w in enumerate(sequence)
-        ]
+            out.append(
+                dataclasses.replace(
+                    self,
+                    workload=w,
+                    mode=modes[i],
+                    history=sequence[:i],
+                    history_modes=modes[:i],
+                    guard_band_k=guard,
+                    idle_gap_s=self.idle_gap_s if i else 0.0,
+                )
+            )
+        return out
 
     def describe(self) -> str:
         """Short human-readable tag (for logs and progress lines)."""
         extras = []
         if self.history:
-            extras.append(
-                "after %s" % "+".join(w.name for w in self.history)
-            )
+            if self.history_modes:
+                tags = [
+                    "%s:%s" % (w.name, m.value)
+                    for w, m in zip(self.history, self.history_modes)
+                ]
+            else:
+                tags = [w.name for w in self.history]
+            extras.append("after %s" % "+".join(tags))
         if self.idle_gap_s:
             extras.append("gap=%gs" % self.idle_gap_s)
         if self.guard_band_k is not None:
@@ -251,6 +312,9 @@ def spec_key(spec: RunSpec, models: Optional[ModelBundle] = None) -> str:
 
 
 WorkloadLike = Union[WorkloadTrace, str]
+#: One matrix schedule position: a workload, or a (workload, mode) pair
+#: pinning that position to a thermal mode regardless of the modes axis.
+ScheduleEntryLike = Union[WorkloadLike, Tuple[WorkloadLike, Union[ThermalMode, str]]]
 
 
 def _resolve_workloads(
@@ -260,6 +324,21 @@ def _resolve_workloads(
     for w in workloads:
         resolved.append(get_benchmark(w) if isinstance(w, str) else w)
     return tuple(resolved)
+
+
+def _resolve_schedule(
+    entries: Sequence[ScheduleEntryLike],
+) -> Tuple[object, ...]:
+    """Normalise schedule entries: names resolve, pairs keep their mode."""
+    return tuple(resolve_schedule_entry(entry) for entry in entries)
+
+
+def _entry_workload(entry) -> WorkloadTrace:
+    return entry[0] if isinstance(entry, tuple) else entry
+
+
+def _entry_mode(entry, default: ThermalMode) -> ThermalMode:
+    return entry[1] if isinstance(entry, tuple) else default
 
 
 @dataclass(frozen=True)
@@ -276,6 +355,13 @@ class ExperimentMatrix:
     position** (so results come back per app, individually cached), and
     all positions of a schedule share one derived seed -- the scenario's
     base seed -- because they are one physical experiment.
+
+    Schedule positions are workloads (or benchmark names), or
+    ``(workload, mode)`` pairs that pin the position to a thermal mode:
+    pinned positions keep their mode while the rest of the schedule
+    follows the ``modes`` axis, which is how mixed chains like "a stock
+    governor all day, then one DTPM-managed app" enter the grid (see
+    also :func:`repro.sim.scenario.diurnal`).
     """
 
     workloads: Tuple[WorkloadTrace, ...] = ()
@@ -305,7 +391,7 @@ class ExperimentMatrix:
             self,
             "schedules",
             tuple(
-                _resolve_workloads(tuple(schedule))
+                _resolve_schedule(tuple(schedule))
                 for schedule in self.schedules
             ),
         )
@@ -353,18 +439,30 @@ class ExperimentMatrix:
                             if self.base_seed is None
                             else self.base_seed + index
                         )
-                        for k, workload in enumerate(atom):
+                        workloads = tuple(
+                            _entry_workload(e) for e in atom
+                        )
+                        pos_modes = tuple(
+                            _entry_mode(e, mode) for e in atom
+                        )
+                        for k in range(len(atom)):
+                            guard_k = (
+                                guard
+                                if ThermalMode.DTPM in pos_modes[: k + 1]
+                                else None
+                            )
                             out.append(
                                 RunSpec(
-                                    workload=workload,
-                                    mode=mode,
+                                    workload=workloads[k],
+                                    mode=pos_modes[k],
                                     config=config,
                                     platform=self.platform,
-                                    guard_band_k=guard,
+                                    guard_band_k=guard_k,
                                     warm_start_c=self.warm_start_c,
                                     max_duration_s=self.max_duration_s,
                                     seed=seed,
-                                    history=atom[:k],
+                                    history=workloads[:k],
+                                    history_modes=pos_modes[:k],
                                     idle_gap_s=(
                                         self.idle_gap_s if k else 0.0
                                     ),

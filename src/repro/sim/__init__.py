@@ -30,12 +30,13 @@ from repro.sim.run_result import RunResult, TraceRecorder
 from repro.sim.sweep import (
     SweepPoint,
     sweep_constraint,
+    sweep_days,
     sweep_guard_band,
     sweep_horizon,
     sweep_idle_gap,
     sweep_sensor_noise,
 )
-from repro.sim.scenario import ScenarioRunner
+from repro.sim.scenario import BatchScenarioRunner, ScenarioRunner, diurnal
 from repro.sim.scheduler import LoadBalancer, SchedulerOutput
 
 __all__ = [
@@ -67,11 +68,14 @@ __all__ = [
     "TraceRecorder",
     "SweepPoint",
     "sweep_constraint",
+    "sweep_days",
     "sweep_guard_band",
     "sweep_horizon",
     "sweep_idle_gap",
     "sweep_sensor_noise",
+    "BatchScenarioRunner",
     "ScenarioRunner",
+    "diurnal",
     "LoadBalancer",
     "SchedulerOutput",
 ]

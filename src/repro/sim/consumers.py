@@ -109,9 +109,13 @@ class StreamingStability(TraceConsumer):
 
     Tracks the all-run peak plus settled-region statistics: every sample
     with ``time_s >= first_time + skip_s`` feeds a :class:`RunningStats`,
-    which reproduces the post-hoc ``RunResult.temp_*`` metrics (same
-    settle rule as ``RunResult.settle_slice``, modulo its short-trace
-    clamp) without ever materialising the trace.
+    which reproduces the post-hoc ``RunResult.temp_*`` metrics --
+    including ``RunResult.settle_slice``'s short-trace clamp, so traces
+    shorter than the skip window aggregate identically live, replayed and
+    post hoc -- without ever materialising the trace.  The clamp widens
+    the settled region to at least the trace's last two samples; a
+    two-sample ring buffer of the most recent temperatures covers that
+    case, so nothing beyond O(1) state is kept.
 
     With ``constraint_c`` set it also accumulates the exceedance numbers
     of :func:`repro.analysis.stats.regulation_quality`.
@@ -130,6 +134,7 @@ class StreamingStability(TraceConsumer):
         self.exceedance = RunningStats()
         self._over_count = 0
         self._over_1c_count = 0
+        self._tail: list = []
 
     def on_run_start(self, benchmark, mode, columns) -> None:
         self._t0 = None
@@ -138,6 +143,7 @@ class StreamingStability(TraceConsumer):
         self.exceedance.reset()
         self._over_count = 0
         self._over_1c_count = 0
+        self._tail = []
 
     def on_interval(self, values: Mapping[str, float]) -> None:
         t = values["time_s"]
@@ -146,6 +152,9 @@ class StreamingStability(TraceConsumer):
             self._t0 = t
         if temp > self.peak_c:
             self.peak_c = temp
+        self._tail.append(temp)
+        if len(self._tail) > 2:
+            del self._tail[0]
         if t >= self._t0 + self.skip_s:
             self.settled.push(temp)
             if self.constraint_c is not None:
@@ -155,30 +164,60 @@ class StreamingStability(TraceConsumer):
                 self._over_1c_count += over > 1.0
 
     # -- post-hoc-equivalent accessors ---------------------------------
+    def _clamped(self) -> "RunningStats":
+        """Settled-region temperatures with the short-trace clamp applied.
+
+        ``settle_slice`` starts at ``min(first settled index, len - 2)``:
+        with two or more settled samples the clamp is inert and the
+        accumulated stats are exact; with fewer, the region is the last
+        ``min(2, len)`` samples, rebuilt from the ring buffer.
+        """
+        if self.settled.count >= 2:
+            return self.settled
+        stats = RunningStats()
+        for temp in self._tail:
+            stats.push(temp)
+        return stats
+
+    @property
+    def settled_samples(self) -> int:
+        """Size of the clamped settled region (what the accessors cover)."""
+        return self._clamped().count
+
     @property
     def average_temp_c(self) -> float:
-        return self.settled.mean
+        return self._clamped().mean
 
     @property
     def max_min_c(self) -> float:
-        return self.settled.band
+        return self._clamped().band
 
     @property
     def variance_c2(self) -> float:
-        return self.settled.variance
+        return self._clamped().variance
 
     def regulation_quality(self) -> Dict[str, float]:
-        """Constraint-exceedance summary over the settled region."""
+        """Constraint-exceedance summary over the (clamped) settled region."""
         if self.constraint_c is None:
             raise SimulationError("constructed without a constraint_c")
-        n = self.exceedance.count
-        if n == 0:
+        if self.settled.count >= 2:
+            stats = self.exceedance
+            over_count, over_1c = self._over_count, self._over_1c_count
+        else:
+            stats = RunningStats()
+            over_count = over_1c = 0
+            for temp in self._tail:
+                over = max(0.0, temp - self.constraint_c)
+                stats.push(over)
+                over_count += over > 0
+                over_1c += over > 1.0
+        if stats.count == 0:
             raise SimulationError("no settled samples observed")
         return {
-            "peak_exceedance_c": self.exceedance.max,
-            "mean_exceedance_c": self.exceedance.mean,
-            "fraction_over": self._over_count / n,
-            "fraction_over_1c": self._over_1c_count / n,
+            "peak_exceedance_c": stats.max,
+            "mean_exceedance_c": stats.mean,
+            "fraction_over": over_count / stats.count,
+            "fraction_over_1c": over_1c / stats.count,
         }
 
 
@@ -207,16 +246,23 @@ def replay(result: RunResult, consumers: Iterable[TraceConsumer]) -> None:
 
     Bridges cached/deserialised results into the streaming code path: the
     consumers observe exactly the sequence of intervals a live simulation
-    would have published, followed by ``on_run_end(result)``.
+    would have published -- plain Python ``float`` values, like the
+    engine's per-interval mappings, never NumPy scalars -- followed by
+    ``on_run_end(result)``.  The whole columnar trace converts in one
+    C-level call and the per-interval mapping is reused (consumers must
+    not hold it across intervals, same contract as a live run), so a
+    replay does no per-row dict or scalar-boxing churn.
     """
     consumers = list(consumers)
     trace = result.trace
     columns = trace.columns
     for consumer in consumers:
         consumer.on_run_start(result.benchmark, result.mode, columns)
-    for row in trace.array():
-        values = dict(zip(columns, row))
-        for consumer in consumers:
-            consumer.on_interval(values)
+    if consumers:
+        values: Dict[str, float] = {}
+        for row in trace.array().tolist():
+            values.update(zip(columns, row))
+            for consumer in consumers:
+                consumer.on_interval(values)
     for consumer in consumers:
         consumer.on_run_end(result)

@@ -407,16 +407,19 @@ class BatchSimulator:
                 lane.migrations += int(migrated)
                 lane.offlined += cores_changed
 
+                # published values are plain Python floats: consumers see
+                # the same types live, replayed from a cache artifact, or
+                # recorded (the recorder's buffer is float64 regardless)
                 temps_c = snapshot.temperatures_k - KELVIN_OFFSET
                 interval = dict(
                     time_s=sim.board.time_s,
                     max_temp_c=float(np.max(temps_c)),
                     true_max_temp_c=float(np.max(hotspots[pos]))
                     - KELVIN_OFFSET,
-                    temp0_c=temps_c[0],
-                    temp1_c=temps_c[1],
-                    temp2_c=temps_c[2],
-                    temp3_c=temps_c[3],
+                    temp0_c=float(temps_c[0]),
+                    temp1_c=float(temps_c[1]),
+                    temp2_c=float(temps_c[2]),
+                    temp3_c=float(temps_c[3]),
                     big_freq_hz=final.big_freq_hz,
                     little_freq_hz=final.little_freq_hz,
                     gpu_freq_hz=final.gpu_freq_hz,

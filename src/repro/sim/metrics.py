@@ -50,7 +50,7 @@ def settled_variance_streaming(result: RunResult, skip_s: float = 15.0) -> float
     """Settled temperature variance via the online consumer (one trace pass)."""
     consumer = StreamingStability(skip_s=skip_s)
     replay(result, [consumer])
-    if consumer.settled.count == 0:
+    if consumer.settled_samples == 0:
         raise SimulationError("run trace too short for stability metrics")
     return consumer.variance_c2
 

@@ -25,6 +25,7 @@ from repro.runner.spec import ExperimentMatrix, RunSpec
 from repro.sim.engine import ThermalMode
 from repro.sim.models import ModelBundle
 from repro.sim.run_result import RunResult
+from repro.sim.scenario import diurnal
 from repro.workloads.trace import WorkloadTrace
 
 
@@ -187,6 +188,54 @@ def sweep_idle_gap(
     return [
         _evaluate(result, config.t_constraint_c, gap)
         for gap, result in zip(gaps_s, results)
+    ]
+
+
+def sweep_days(
+    day: Sequence[WorkloadTrace],
+    days_axis: Sequence[int],
+    models: Optional[ModelBundle] = None,
+    mode: ThermalMode = ThermalMode.DTPM,
+    night_s: float = 90.0,
+    idle_gap_s: float = 30.0,
+    spec: Optional[PlatformSpec] = None,
+    initial_temp_c: float = 35.0,
+    max_duration_s: float = 900.0,
+    runner: Optional[ParallelRunner] = None,
+) -> List[SweepPoint]:
+    """Sweep how many consecutive days a diurnal schedule runs.
+
+    Each point executes :func:`~repro.sim.scenario.diurnal`\\ 's repeated
+    day (apps separated by ``idle_gap_s`` pocket time, days separated by
+    an ``night_s`` overnight standby position) and reports the outcome of
+    the **final** app of the last day.  Shorter points are chain prefixes
+    of the longest, so the runner executes only the longest schedule and
+    harvests every other point from its intermediate positions.
+    """
+    from repro.errors import ConfigurationError
+
+    if not days_axis or any(d < 1 for d in days_axis):
+        raise ConfigurationError("days_axis must name positive day counts")
+    config = SimulationConfig()
+    specs = []
+    for days in days_axis:
+        schedule = diurnal(tuple(day), days=days, night_s=night_s)
+        specs.append(
+            RunSpec(
+                workload=schedule[-1],
+                mode=mode,
+                config=config,
+                platform=spec,
+                warm_start_c=initial_temp_c,
+                max_duration_s=max_duration_s,
+                history=schedule[:-1],
+                idle_gap_s=idle_gap_s if len(schedule) > 1 else 0.0,
+            )
+        )
+    results = ensure_runner(runner, models).run(specs)
+    return [
+        _evaluate(result, config.t_constraint_c, float(days))
+        for days, result in zip(days_axis, results)
     ]
 
 

@@ -305,15 +305,24 @@ def test_batched_runner_fills_cache_identically(tmp_path):
         assert result_bytes(fresh) == result_bytes(cached)
 
 
-def test_plan_batches_groups_only_compatible_plain_specs():
+def test_plan_batches_groups_only_compatible_specs():
     workload = synthesize("high", 10.0, seed=1)
     other = synthesize("medium", 10.0, seed=2)
     plain = [
         RunSpec(workload=workload, mode=ThermalMode.NO_FAN, seed=i)
         for i in range(3)
     ]
-    scheduled = RunSpec(
-        workload=other, mode=ThermalMode.NO_FAN, history=(workload,)
+    scheduled = [
+        RunSpec(
+            workload=other, mode=ThermalMode.NO_FAN, history=(workload,),
+            seed=i,
+        )
+        for i in range(2)
+    ]
+    longer = RunSpec(
+        workload=other,
+        mode=ThermalMode.NO_FAN,
+        history=(workload, workload),
     )
     from repro.config import SimulationConfig
 
@@ -322,14 +331,79 @@ def test_plan_batches_groups_only_compatible_plain_specs():
         mode=ThermalMode.NO_FAN,
         config=SimulationConfig(ambient_c=30.0),
     )
-    specs = [plain[0], scheduled, plain[1], different_shape, plain[2]]
+    specs = [
+        plain[0], scheduled[0], plain[1], different_shape, plain[2],
+        scheduled[1], longer,
+    ]
     jobs = plan_batches(specs, batch_size=8)
     assert [0, 2, 4] in jobs  # compatible plain specs pack together
-    assert [1] in jobs  # scheduled specs execute alone
+    assert [1, 5] in jobs  # same-shape same-length schedules lock-step
     assert [3] in jobs  # a different plant shape cannot lock-step
+    assert [6] in jobs  # a different chain length keeps positions aligned
     # chunking respects the batch width
     jobs = plan_batches([plain[0], plain[1], plain[2]], batch_size=2)
     assert jobs == [[0, 1], [2]]
+    # batch_size=1 disables packing entirely (the pre-batching behaviour)
+    assert plan_batches(specs, batch_size=1) == [[i] for i in range(len(specs))]
+
+
+def _scheduled_matrix():
+    a = synthesize("medium", 10.0, threads=2, seed=31)
+    b = synthesize("high", 10.0, threads=4, seed=32)
+    return ExperimentMatrix(
+        schedules=((a, b), (b, a)),
+        modes=(ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN),
+        idle_gap_s=3.0,
+        max_duration_s=20.0,
+        base_seed=500,
+    )
+
+
+def test_scheduled_matrix_batched_equals_serial_with_dtpm(models):
+    """Mixed chain positions with DTPM lanes: batch width changes nothing."""
+    a = synthesize("medium", 10.0, threads=2, seed=31)
+    b = synthesize("high", 10.0, threads=4, seed=32)
+    specs = [
+        RunSpec(workload=b, mode=ThermalMode.DTPM, history=(a,),
+                idle_gap_s=4.0, seed=61, max_duration_s=20.0),
+        RunSpec(workload=a, mode=ThermalMode.DTPM, history=(b,),
+                seed=62, max_duration_s=20.0),
+        RunSpec(workload=a, mode=ThermalMode.NO_FAN, history=(a,),
+                idle_gap_s=4.0, seed=63, max_duration_s=20.0),
+        # a mixed-mode chain: stock governor first, DTPM-managed second
+        RunSpec(workload=b, mode=ThermalMode.DTPM, history=(a,),
+                history_modes=(ThermalMode.NO_FAN,), seed=64,
+                max_duration_s=20.0),
+    ]
+    serial = execute_batch(specs, models=models, batch_size=1)
+    batched = execute_batch(specs, models=models, batch_size=8)
+    for one, many in zip(serial, batched):
+        assert [result_bytes(r) for r in one] == [
+            result_bytes(r) for r in many
+        ]
+
+
+def test_warm_batched_scheduled_matrix_executes_zero_sims(tmp_path):
+    matrix = _scheduled_matrix()
+    cold = ParallelRunner(cache=ResultCache(root=str(tmp_path)), batch=4)
+    cold_results = cold.run(matrix)
+    assert cold.last_stats.executed == len(matrix)
+
+    warm = ParallelRunner(cache=ResultCache(root=str(tmp_path)), batch=4)
+    warm_results = warm.run(matrix)
+    assert warm.last_stats.executed == 0
+    assert warm.last_stats.cache_hits == len(matrix)
+
+    # the serial, unbatched chain path reads the very same entries back:
+    # scheduled batching changed no content keys
+    serial = ParallelRunner(cache=ResultCache(root=str(tmp_path)), batch=1)
+    serial_results = serial.run(matrix)
+    assert serial.last_stats.executed == 0
+    for fresh, cached, lone in zip(
+        cold_results, warm_results, serial_results
+    ):
+        assert result_bytes(fresh) == result_bytes(cached)
+        assert result_bytes(fresh) == result_bytes(lone)
 
 
 def test_board_power_state_restored_after_batched_run():

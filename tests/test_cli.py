@@ -119,6 +119,38 @@ def test_matrix_rejects_unknown_schedule_benchmark(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_matrix_schedule_pins_per_position_modes(capsys, tmp_path):
+    args = [
+        "matrix",
+        "--schedule", "dijkstra:with_fan,patricia",
+        "--modes", "without_fan",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    # the pinned first position keeps its mode; the rest follow the axis
+    assert "with_fan" in out and "without_fan" in out
+    assert main(["matrix", "--schedule", "dijkstra:overclock"]) == 2
+    assert "unknown mode" in capsys.readouterr().err
+
+
+def test_matrix_days_repeats_schedule_with_overnight(capsys, tmp_path):
+    args = [
+        "matrix",
+        "--schedule", "dijkstra",
+        "--days", "2",
+        "--modes", "without_fan",
+        "--idle-gap", "2.0",
+        "--cache-dir", str(tmp_path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "overnight" in out  # the night standby position is on the grid
+    assert "(pos 2)" in out  # day 2's app carries the overnight state
+    assert main(["matrix", "--days", "2"]) == 2
+    assert "--days only applies" in capsys.readouterr().err
+
+
 def test_cache_stats_and_prune(capsys, tmp_path):
     cache_args = ["--cache-dir", str(tmp_path)]
     # populate two entries through a real (tiny) matrix run

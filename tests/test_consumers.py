@@ -181,6 +181,99 @@ def test_variance_reduction_streaming_matches(workload, models):
     ) == pytest.approx(variance_reduction_factor(base, dtpm, skip_s=15.0), rel=1e-9)
 
 
+class TypeProbe(TraceConsumer):
+    """Records the value types every interval publishes."""
+
+    def __init__(self):
+        self.rows = 0
+        self.non_float = set()
+
+    def on_interval(self, values):
+        self.rows += 1
+        for name, value in values.items():
+            if type(value) is not float:
+                self.non_float.add((name, type(value).__name__))
+
+
+def test_live_and_replay_publish_plain_floats(workload):
+    """Consumers see ``float`` values identically live and on replay."""
+    live = TypeProbe()
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=60.0, consumers=[live]
+    ).run()
+    assert live.non_float == set()
+
+    replayed = TypeProbe()
+    replay(result, [replayed])
+    assert replayed.non_float == set()
+    assert replayed.rows == live.rows == len(result.trace)
+
+
+def test_cached_replay_aggregates_equal_live(tmp_path, workload):
+    """A cache round trip changes neither consumer types nor aggregates."""
+    from repro.runner import ResultCache, RunSpec, spec_key
+
+    live = StreamingStability(skip_s=10.0, constraint_c=55.0)
+    power = StreamingPower()
+    result = Simulator(
+        workload,
+        ThermalMode.NO_FAN,
+        max_duration_s=60.0,
+        consumers=[live, power],
+    ).run()
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    cached = cache.get(key)
+
+    probe = TypeProbe()
+    re_stab = StreamingStability(skip_s=10.0, constraint_c=55.0)
+    re_power = StreamingPower()
+    replay(cached, [probe, re_stab, re_power])
+    assert probe.non_float == set()
+    assert re_stab.peak_c == live.peak_c
+    assert re_stab.average_temp_c == live.average_temp_c
+    assert re_stab.variance_c2 == live.variance_c2
+    assert re_stab.regulation_quality() == live.regulation_quality()
+    for rail in StreamingPower.RAILS:
+        assert re_power.mean_w(rail) == power.mean_w(rail)
+
+
+def test_short_trace_clamp_matches_posthoc(workload):
+    """Streaming == post-hoc on traces shorter than the skip window."""
+    short = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=5.0).run()
+    t = short.times_s()
+    span = t[-1] - t[0]
+    boundary_skips = [
+        span + 1.0,  # trace entirely inside the skip window: 0 settled
+        (t[-2] - t[0] + span) / 2.0,  # exactly 1 settled sample
+        span - 0.5,  # a few settled samples, clamp inert
+    ]
+    for skip in boundary_skips:
+        live = StreamingStability(skip_s=skip, constraint_c=50.0)
+        replay(short, [live])
+        assert live.average_temp_c == short.average_temp_c(skip), skip
+        assert live.max_min_c == short.temp_max_min_c(skip), skip
+        assert live.variance_c2 == pytest.approx(
+            short.temp_variance(skip), rel=1e-12, abs=1e-12
+        ), skip
+        post = regulation_quality(short, 50.0, skip_s=skip)
+        stream = live.regulation_quality()
+        for key, value in post.items():
+            assert stream[key] == pytest.approx(value, rel=1e-12), (skip, key)
+        # the clamped region is never empty on a non-empty trace
+        assert live.settled_samples >= 1
+    # stability_stats_streaming no longer rejects short traces post-clamp
+    stats = stability_stats_streaming(short, skip_s=span + 1.0)
+    assert stats.average_temp_c == short.average_temp_c(span + 1.0)
+    # ...and neither does the variance-reduction metric
+    assert variance_reduction_factor_streaming(
+        short, short, skip_s=span + 1.0
+    ) == pytest.approx(
+        variance_reduction_factor(short, short, skip_s=span + 1.0)
+    )
+
+
 def test_streaming_power_mean_matches_trace(workload):
     power = StreamingPower()
     result = Simulator(

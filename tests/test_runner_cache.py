@@ -243,6 +243,48 @@ def test_read_touches_entry_and_prune_is_lru(tmp_path, workload, result):
     assert os.path.getmtime(paths[0]) > stamp - 500.0
 
 
+def test_prune_with_open_memmap_reader(tmp_path, workload, result):
+    """Evicting an entry must not strand a reader holding its memory map.
+
+    Deletion goes blob-before-summary with per-file error tolerance, so a
+    reader that already mapped the blob keeps its data (POSIX unlink
+    semantics), a reader arriving mid-eviction sees a clean miss, and the
+    prune itself always completes.
+    """
+    cache = ResultCache(root=str(tmp_path), memory=False, mmap=True)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    mapped = cache.get(key)
+    base = mapped.trace.array()
+    while not isinstance(base, np.memmap) and getattr(base, "base", None) is not None:
+        base = base.base
+    assert isinstance(base, np.memmap)  # the reader really holds a map
+
+    removed, freed = prune(str(tmp_path), max_bytes=None)
+    assert removed == 1 and freed > 0
+    assert disk_usage(str(tmp_path)).entries == 0
+    assert disk_usage(str(tmp_path)).orphan_blobs == 0
+
+    # the open map still serves the evicted entry's data...
+    assert result_bytes(mapped) == result_bytes(result)
+    # ...and a fresh reader sees a clean miss
+    assert ResultCache(root=str(tmp_path), memory=False).get(key) is None
+
+
+def test_half_removed_entry_reads_as_miss_and_reprunes(tmp_path, workload, result):
+    """A summary whose blob is gone (pruner died mid-eviction) is a clean
+    miss for readers and is collected by the next prune."""
+    cache = ResultCache(root=str(tmp_path), memory=False)
+    key = spec_key(RunSpec(workload=workload, mode=ThermalMode.NO_FAN))
+    cache.put(key, result)
+    _, blob_path = _entry_paths(tmp_path, key)
+    os.unlink(blob_path)  # the state blob-before-summary deletion leaves
+    assert cache.get(key) is None
+    removed, _ = prune(str(tmp_path), max_bytes=None)
+    assert removed == 1
+    assert disk_usage(str(tmp_path)).entries == 0
+
+
 def test_prune_collects_stale_orphan_blobs_keeps_models(tmp_path):
     shard = tmp_path / "ab"
     shard.mkdir()

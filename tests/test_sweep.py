@@ -6,6 +6,7 @@ from repro.errors import ConfigurationError
 from repro.sim.engine import ThermalMode
 from repro.sim.sweep import (
     sweep_constraint,
+    sweep_days,
     sweep_guard_band,
     sweep_horizon,
     sweep_idle_gap,
@@ -67,3 +68,34 @@ def test_idle_gap_sweep_cools_the_second_app(workload):
     )
     with pytest.raises(ConfigurationError):
         sweep_idle_gap([workload], [0.0])  # needs a real sequence
+
+
+def test_days_sweep_dedups_prefix_chains():
+    from repro.runner import ParallelRunner, ResultCache
+
+    day = [synthesize("medium", 10.0, threads=2, seed=9)]
+    runner = ParallelRunner(cache=ResultCache())
+    longest = sweep_days(
+        day, [3], mode=ThermalMode.NO_FAN, night_s=20.0,
+        idle_gap_s=5.0, max_duration_s=30.0, runner=runner,
+    )
+    assert runner.last_stats.executed == 1
+    # shorter day counts are chain prefixes of the longest schedule: the
+    # harvested positions answer the whole sweep from the cache
+    points = sweep_days(
+        day, [1, 2, 3], mode=ThermalMode.NO_FAN, night_s=20.0,
+        idle_gap_s=5.0, max_duration_s=30.0, runner=runner,
+    )
+    assert runner.last_stats.executed == 0
+    assert runner.last_stats.cache_hits == 3
+    assert [p.value for p in points] == [1.0, 2.0, 3.0]
+    for p in points:
+        assert p.result.completed
+        assert p.result.benchmark == day[0].name
+    # each extra day starts from carried state, never a colder device
+    assert points[-1].result.max_temps_c()[0] >= points[0].result.max_temps_c()[0] - 0.5
+    assert points[-1].peak_c == longest[0].peak_c
+    with pytest.raises(ConfigurationError):
+        sweep_days(day, [])
+    with pytest.raises(ConfigurationError):
+        sweep_days(day, [0, 1])
