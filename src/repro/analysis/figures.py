@@ -73,6 +73,23 @@ def ascii_timeseries(
     return "\n".join(lines)
 
 
+def sparkline(values: Sequence[float], levels: str = " .:-=+*#%@") -> str:
+    """Render a sequence as a one-character-per-value inline bar strip.
+
+    Used by the report's scenario section to show a whole diurnal chain's
+    per-position profile on a single line; auto-scaled to the data range
+    (a constant sequence renders at the middle level).
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise SimulationError("no values to plot")
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        return levels[len(levels) // 2] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(levels) - 1)
+    return "".join(levels[int(round(s))] for s in scaled)
+
+
 def ascii_bars(
     values: Dict[str, float],
     width: int = 50,

@@ -1,11 +1,22 @@
-"""One-shot evaluation report generator.
+"""One-shot evaluation report generator -- the suite analytics read path.
 
 Runs a configurable slice of the paper's evaluation and renders a single
 markdown report: prediction accuracy (Fig. 6.2), the four-configuration
-comparison for representative benchmarks (Figs. 6.3-6.5), and the
-DTPM-vs-default sweep (Fig. 6.9) with category summaries.  Used by the
-``repro-dtpm report`` CLI subcommand and handy for regression-tracking a
-fork of the library.
+comparison for representative benchmarks (Figs. 6.3-6.5), the
+DTPM-vs-default sweep (Fig. 6.9) with category summaries, and (opted in)
+a scenario section reporting per-position stability/power deltas along a
+diurnal chain.  Used by the ``repro-dtpm report`` CLI subcommand and
+handy for regression-tracking a fork of the library.
+
+The whole evaluation is *declared* as :class:`~repro.runner.RunSpec`
+grids and executed through one
+:meth:`~repro.runner.ParallelRunner.run` call: a runner with a warm
+:class:`~repro.runner.ResultCache` renders the full report without
+executing a single simulation, and a cold one rides the batched plant
+(``execute_batch``) instead of stepping runs one at a time.  Every
+section is rendered from :class:`~repro.analysis.suite.SuiteFrame`
+reductions over the gathered results -- section values are byte-identical
+to the historical direct-simulation implementation.
 """
 
 from __future__ import annotations
@@ -14,101 +25,138 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import stability_stats_streaming
-from repro.sim.engine import Simulator, ThermalMode
-from repro.sim.experiment import dtpm_vs_default, run_benchmark
-from repro.sim.metrics import overall_summary, summarize_categories
+from repro.analysis.figures import sparkline
+from repro.analysis.suite import SuiteFrame
+from repro.analysis.tables import markdown_table
+from repro.runner.runner import ParallelRunner, ensure_runner
+from repro.runner.spec import ExperimentMatrix, RunSpec
+from repro.sim.engine import ThermalMode
+from repro.sim.experiment import comparison_specs
+from repro.sim.metrics import (
+    ComparisonRow,
+    overall_summary,
+    summarize_categories,
+)
 from repro.sim.models import ModelBundle, default_models
+from repro.sim.scenario import diurnal
 from repro.thermal.validation import prediction_error_report
 from repro.workloads.benchmarks import ALL_BENCHMARKS
 from repro.workloads.trace import WorkloadTrace
 
+#: Trace columns stacked for the prediction-accuracy section.
+_TEMP_COLUMNS = ["temp%d_c" % i for i in range(4)]
+_POWER_COLUMNS = ["p_big_w", "p_little_w", "p_gpu_w", "p_mem_w"]
 
-def _prediction_section(
-    workloads: Sequence[WorkloadTrace], models: ModelBundle
-) -> List[str]:
+
+def _prediction_specs(workloads: Sequence[WorkloadTrace]) -> List[RunSpec]:
+    """Short open-loop runs feeding the Fig. 6.2 error table."""
+    return [
+        RunSpec(workload=w, mode=ThermalMode.NO_FAN, max_duration_s=150.0)
+        for w in workloads
+    ]
+
+
+def _prediction_section(frame: SuiteFrame, models: ModelBundle) -> List[str]:
     lines = ["## Temperature prediction accuracy (1 s horizon)", ""]
-    lines.append("| benchmark | mean error (degC) | mean error (%) |")
-    lines.append("|---|---|---|")
+    rows = []
     errors_c, errors_pct = [], []
-    for workload in workloads:
-        sim = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=150.0)
-        result = sim.run()
-        temps = np.stack(
-            [result.trace.column("temp%d_c" % i) for i in range(4)], axis=1
-        ) + 273.15
-        powers = np.stack(
-            [
-                result.trace.column("p_big_w"),
-                result.trace.column("p_little_w"),
-                result.trace.column("p_gpu_w"),
-                result.trace.column("p_mem_w"),
-            ],
-            axis=1,
-        )
+    for i in range(len(frame)):
+        temps = frame.trace_matrix(i, _TEMP_COLUMNS) + 273.15
+        powers = frame.trace_matrix(i, _POWER_COLUMNS)
         report = prediction_error_report(models.thermal, temps, powers, 10)
         errors_c.append(report.mean_abs_c)
         errors_pct.append(report.mean_pct)
-        lines.append(
-            "| %s | %.2f | %.2f |"
-            % (workload.name, report.mean_abs_c, report.mean_pct)
+        rows.append(
+            [frame.benchmark[i], "%.2f" % report.mean_abs_c,
+             "%.2f" % report.mean_pct]
         )
-    lines.append(
-        "| **average** | **%.2f** | **%.2f** |"
-        % (float(np.mean(errors_c)), float(np.mean(errors_pct)))
+    rows.append(
+        ["**average**", "**%.2f**" % float(np.mean(errors_c)),
+         "**%.2f**" % float(np.mean(errors_pct))]
+    )
+    lines += markdown_table(
+        ["benchmark", "mean error (degC)", "mean error (%)"], rows
     )
     lines.append("")
     return lines
 
 
-def _regulation_section(
-    workloads: Sequence[WorkloadTrace], models: ModelBundle
-) -> List[str]:
-    lines = ["## Regulation quality (63 degC constraint)", ""]
-    lines.append(
-        "| benchmark | config | peak (degC) | avg (degC) | band (degC) |"
-    )
-    lines.append("|---|---|---|---|---|")
-    for workload in workloads:
+def _regulation_specs(workloads: Sequence[WorkloadTrace]) -> List[RunSpec]:
+    """The three-configuration comparison grid (Figs. 6.3-6.5)."""
+    return [
+        RunSpec(workload=w, mode=mode)
+        for w in workloads
         for mode in (
             ThermalMode.NO_FAN,
             ThermalMode.DEFAULT_WITH_FAN,
             ThermalMode.DTPM,
-        ):
-            result = run_benchmark(workload, mode, models=models)
-            # incremental consumer pass -- no trace rows materialised
-            stats = stability_stats_streaming(result)
-            lines.append(
-                "| %s | %s | %.1f | %.1f | %.1f |"
-                % (
-                    workload.name,
-                    mode.value,
-                    stats.peak_c,
-                    stats.average_temp_c,
-                    stats.max_min_c,
-                )
-            )
+        )
+    ]
+
+
+def _regulation_section(frame: SuiteFrame) -> List[str]:
+    lines = ["## Regulation quality (63 degC constraint)", ""]
+    stab = frame.stability()
+    lines += markdown_table(
+        ["benchmark", "config", "peak (degC)", "avg (degC)", "band (degC)"],
+        [
+            [
+                frame.benchmark[i],
+                frame.mode[i],
+                "%.1f" % stab["peak_c"][i],
+                "%.1f" % stab["average_temp_c"][i],
+                "%.1f" % stab["max_min_c"][i],
+            ]
+            for i in range(len(frame))
+        ],
+    )
     lines.append("")
     return lines
 
 
-def _savings_section(
-    workloads: Sequence[WorkloadTrace], models: ModelBundle
-) -> List[str]:
-    rows = dtpm_vs_default(workloads, models=models)
-    lines = ["## DTPM vs fan-cooled default (Fig. 6.9)", ""]
-    lines.append("| benchmark | category | savings (%) | perf loss (%) |")
-    lines.append("|---|---|---|---|")
-    for row in rows:
-        lines.append(
-            "| %s | %s | %.1f | %.1f |"
-            % (
-                row.benchmark,
-                row.category,
-                row.power_savings_pct,
-                row.performance_loss_pct,
+def _comparison_rows(frame: SuiteFrame) -> List[ComparisonRow]:
+    """Fig.-6.9 rows from a frame holding the comparison grid."""
+    sav = frame.savings(
+        baseline_mode=ThermalMode.DEFAULT_WITH_FAN.value,
+        candidate_mode=ThermalMode.DTPM.value,
+    )
+    power = frame.column("average_platform_power_w")
+    times = frame.column("execution_time_s")
+    categories = frame.categories
+    rows: List[ComparisonRow] = []
+    for j in range(sav["baseline"].size):
+        base = int(sav["baseline"][j])
+        cand = int(sav["candidate"][j])
+        rows.append(
+            ComparisonRow(
+                benchmark=frame.benchmark[base],
+                category=categories[base],
+                power_savings_pct=float(sav["power_savings_pct"][j]),
+                performance_loss_pct=float(sav["performance_loss_pct"][j]),
+                baseline_power_w=float(power[base]),
+                dtpm_power_w=float(power[cand]),
+                baseline_time_s=float(times[base]),
+                dtpm_time_s=float(times[cand]),
             )
         )
+    return rows
+
+
+def _savings_section(frame: SuiteFrame) -> List[str]:
+    rows = _comparison_rows(frame)
+    lines = ["## DTPM vs fan-cooled default (Fig. 6.9)", ""]
+    lines += markdown_table(
+        ["benchmark", "category", "savings (%)", "perf loss (%)"],
+        [
+            [
+                row.benchmark,
+                row.category,
+                "%.1f" % row.power_savings_pct,
+                "%.1f" % row.performance_loss_pct,
+            ]
+            for row in rows
+        ],
+    )
     lines.append("")
     lines.append("### Per category")
     lines.append("")
@@ -138,16 +186,147 @@ def _savings_section(
     return lines
 
 
+def _chain_days(benchmarks: Sequence[str]) -> List[int]:
+    """Day number of every chain position (overnight rows close their day)."""
+    days = []
+    day = 1
+    for name in benchmarks:
+        days.append(day)
+        if name == "overnight":
+            day += 1
+    return days
+
+
+def _scenario_section(
+    frame: SuiteFrame, days: int, idle_gap_s: float
+) -> List[str]:
+    stab = frame.stability()
+    power = frame.column("average_platform_power_w")
+    day_of = _chain_days(frame.benchmark)
+    # each position's baseline is the first chain position running the
+    # same (benchmark, mode) -- day-over-day carry-over shows up as the
+    # delta against that first occurrence
+    first_seen = {}
+    base_idx = []
+    for i in range(len(frame)):
+        ident = (frame.benchmark[i], frame.mode[i])
+        first_seen.setdefault(ident, i)
+        base_idx.append(first_seen[ident])
+    base = np.array(base_idx, dtype=np.intp)
+    d_temp = stab["average_temp_c"] - stab["average_temp_c"][base]
+    d_power = power - power[base]
+
+    lines = [
+        "## Scenario: diurnal chain (%d day%s)"
+        % (days, "" if days == 1 else "s"),
+        "",
+        "Thermal state carries across the whole schedule (idle gap %g s "
+        "before each carried run); later days start from whatever the "
+        "overnight standby left behind.  Deltas compare each position "
+        "against the first run of the same app and mode along the chain."
+        % idle_gap_s,
+        "",
+    ]
+    rows = []
+    for i in range(len(frame)):
+        is_first = base[i] == i
+        rows.append(
+            [
+                "%d" % i,
+                "%d" % day_of[i],
+                frame.benchmark[i],
+                frame.mode[i],
+                "%.1f" % stab["peak_c"][i],
+                "%.1f" % stab["average_temp_c"][i],
+                "%.2f" % power[i],
+                "--" if is_first else "%+.2f" % d_temp[i],
+                "--" if is_first else "%+.3f" % d_power[i],
+            ]
+        )
+    lines += markdown_table(
+        ["pos", "day", "benchmark", "mode", "peak (degC)",
+         "avg settled (degC)", "avg power (W)", "d avg (degC)",
+         "d power (W)"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "Settled temperature along the chain: `%s`"
+        % sparkline(stab["average_temp_c"])
+    )
+    lines.append(
+        "Average power along the chain:       `%s`" % sparkline(power)
+    )
+    lines.append("")
+    return lines
+
+
 def generate_report(
     models: Optional[ModelBundle] = None,
     workloads: Optional[Iterable[WorkloadTrace]] = None,
     include_prediction: bool = True,
     include_regulation: bool = True,
     include_savings: bool = True,
+    runner: Optional[ParallelRunner] = None,
+    scenario: Optional[Sequence] = None,
+    scenario_days: int = 2,
+    scenario_mode: ThermalMode = ThermalMode.DTPM,
+    scenario_idle_gap_s: float = 30.0,
 ) -> str:
-    """Run the selected evaluation slices and return a markdown report."""
+    """Run the selected evaluation slices and return a markdown report.
+
+    The evaluation is declared as spec grids and executed through
+    ``runner`` (a serial, uncached :class:`ParallelRunner` when none is
+    given): pass a cache-backed runner and a warm report executes zero
+    simulations.  ``scenario`` opts into the diurnal-chain section: a
+    day's schedule (workloads, benchmark names or ``(workload, mode)``
+    pairs) repeated ``scenario_days`` times with overnight standby
+    between days (:func:`repro.sim.scenario.diurnal`).
+    """
     models = models or default_models()
     workloads = list(workloads) if workloads is not None else list(ALL_BENCHMARKS)
+    runner = ensure_runner(runner, models)
+
+    # -- declare every section's runs as one spec list -----------------
+    specs: List[RunSpec] = []
+    sections = []  # (renderer, slice) in report order
+
+    if include_prediction:
+        pred = _prediction_specs(workloads)
+        sections.append(
+            ("prediction", slice(len(specs), len(specs) + len(pred)))
+        )
+        specs += pred
+    if include_regulation:
+        representative = [w for w in workloads if w.category == "high"][:2]
+        if representative:
+            reg = _regulation_specs(representative)
+            sections.append(
+                ("regulation", slice(len(specs), len(specs) + len(reg)))
+            )
+            specs += reg
+    if include_savings:
+        sav = comparison_specs(workloads)
+        sections.append(
+            ("savings", slice(len(specs), len(specs) + len(sav)))
+        )
+        specs += sav
+    if scenario is not None:
+        schedule = diurnal(scenario, days=scenario_days)
+        scen = ExperimentMatrix(
+            schedules=(schedule,),
+            modes=(scenario_mode,),
+            idle_gap_s=scenario_idle_gap_s,
+        ).specs()
+        sections.append(
+            ("scenario", slice(len(specs), len(specs) + len(scen)))
+        )
+        specs += scen
+
+    # -- one batched, cache-aware execution for the whole report -------
+    results = runner.run(specs) if specs else []
+    frame = SuiteFrame.from_results(results, specs=specs)
+
     lines = [
         "# DTPM evaluation report",
         "",
@@ -158,12 +337,16 @@ def generate_report(
         % (models.thermal.spectral_radius(), len(workloads)),
         "",
     ]
-    if include_prediction:
-        lines += _prediction_section(workloads, models)
-    if include_regulation:
-        representative = [w for w in workloads if w.category == "high"][:2]
-        if representative:
-            lines += _regulation_section(representative, models)
-    if include_savings:
-        lines += _savings_section(workloads, models)
+    for name, section_slice in sections:
+        sub = frame.select(range(*section_slice.indices(len(frame))))
+        if name == "prediction":
+            lines += _prediction_section(sub, models)
+        elif name == "regulation":
+            lines += _regulation_section(sub)
+        elif name == "savings":
+            lines += _savings_section(sub)
+        elif name == "scenario":
+            lines += _scenario_section(
+                sub, scenario_days, scenario_idle_gap_s
+            )
     return "\n".join(lines)

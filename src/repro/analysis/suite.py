@@ -1,0 +1,538 @@
+"""Suite analytics core: many runs as one columnar frame.
+
+A :class:`SuiteFrame` gathers the *summaries* of many runs into
+struct-of-arrays columns (one NumPy array per scalar field, one list per
+string field) and keeps every *trace* as a lazy handle: in-memory results
+contribute zero-copy views of their recorders, cached entries contribute
+the ``.npz`` blob opened **as a memory map** on first touch -- a frame
+over a whole :class:`~repro.runner.ResultCache` directory therefore never
+pulls a trace eagerly into RAM, and a reduction that reads two columns of
+each run faults in only those pages.
+
+Reductions (:meth:`stability`, :meth:`regulation`, :meth:`savings`,
+:meth:`residency`, :meth:`groupby`) are array-in/array-out: they funnel
+the per-run column batches through the ``*_batch`` kernels of
+:mod:`repro.analysis.stats` / :mod:`repro.sim.metrics` and never
+materialise per-row dicts.  The report generator renders every section
+from these reductions; ``repro-dtpm suite summarize`` points them at an
+existing cache directory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import (
+    frequency_residency_batch,
+    regulation_quality_batch,
+    stability_stats_batch,
+)
+from repro.errors import SimulationError
+from repro.runner.cache import ARTIFACT_FORMAT, ResultCache
+from repro.runner.spec import RunSpec
+from repro.sim.metrics import (
+    performance_loss_pct_batch,
+    power_savings_pct_batch,
+)
+from repro.sim.run_result import RunResult, rows_to_matrix
+
+#: Scalar summary fields gathered into float64 columns.
+FLOAT_FIELDS = (
+    "execution_time_s",
+    "average_platform_power_w",
+    "energy_j",
+)
+
+#: Counter summary fields gathered into int64 columns.
+COUNT_FIELDS = (
+    "interventions",
+    "violations_predicted",
+    "cluster_migrations",
+    "cores_offlined",
+)
+
+#: A zero-argument callable producing one run's (rows, columns) matrix.
+TraceLoader = Callable[[], np.ndarray]
+
+
+class SuiteFrame:
+    """Columnar view over many runs: summaries eager, traces lazy.
+
+    Construct with :meth:`from_results` (in-memory results, e.g. straight
+    out of a :class:`~repro.runner.ParallelRunner`), :meth:`from_cache`
+    (selected keys of a result cache) or :meth:`open_dir` (every entry of
+    a cache directory).  Rows keep the order they were given in; when
+    ``specs`` accompany the rows, per-spec metadata (chain position,
+    workload category, seed) becomes available to :meth:`groupby`.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Sequence[str],
+        modes: Sequence[str],
+        scalars: Dict[str, np.ndarray],
+        trace_columns: Sequence[Sequence[str]],
+        trace_loaders: Sequence[TraceLoader],
+        keys: Optional[Sequence[str]] = None,
+        specs: Optional[Sequence[RunSpec]] = None,
+    ) -> None:
+        n = len(benchmarks)
+        for name, label in (
+            (modes, "modes"),
+            (trace_columns, "trace_columns"),
+            (trace_loaders, "trace_loaders"),
+        ):
+            if len(name) != n:
+                raise SimulationError(
+                    "frame %s holds %d entries for %d rows"
+                    % (label, len(name), n)
+                )
+        if keys is not None and len(keys) != n:
+            raise SimulationError(
+                "frame keys hold %d entries for %d rows" % (len(keys), n)
+            )
+        if specs is not None and len(specs) != n:
+            raise SimulationError(
+                "frame specs hold %d entries for %d rows" % (len(specs), n)
+            )
+        self.benchmark = list(benchmarks)
+        self.mode = list(modes)
+        self._scalars = {k: np.asarray(v) for k, v in scalars.items()}
+        for field, values in self._scalars.items():
+            if values.shape != (n,):
+                raise SimulationError(
+                    "summary column %r has shape %s for %d rows"
+                    % (field, values.shape, n)
+                )
+        self._trace_columns = [list(c) for c in trace_columns]
+        self._trace_loaders = list(trace_loaders)
+        self._traces: List[Optional[np.ndarray]] = [None] * n
+        self.keys = list(keys) if keys is not None else None
+        self.specs = list(specs) if specs is not None else None
+
+    # ------------------------------------------------------------------
+    # constructors
+    @classmethod
+    def from_results(
+        cls,
+        results: Sequence[RunResult],
+        specs: Optional[Sequence[RunSpec]] = None,
+        keys: Optional[Sequence[str]] = None,
+    ) -> "SuiteFrame":
+        """Frame over in-memory results (recorder views, zero copies)."""
+        results = list(results)
+        scalars = {
+            field: np.array(
+                [getattr(r, field) for r in results], dtype=float
+            )
+            for field in FLOAT_FIELDS
+        }
+        scalars.update(
+            {
+                field: np.array(
+                    [getattr(r, field) for r in results], dtype=np.int64
+                )
+                for field in COUNT_FIELDS
+            }
+        )
+        scalars["completed"] = np.array(
+            [r.completed for r in results], dtype=bool
+        )
+        return cls(
+            benchmarks=[r.benchmark for r in results],
+            modes=[r.mode for r in results],
+            scalars=scalars,
+            trace_columns=[r.trace.columns for r in results],
+            trace_loaders=[r.trace.array for r in results],
+            keys=keys,
+            specs=specs,
+        )
+
+    @classmethod
+    def from_cache(
+        cls,
+        cache: ResultCache,
+        keys: Optional[Sequence[str]] = None,
+        mmap: bool = True,
+        specs: Optional[Sequence[RunSpec]] = None,
+    ) -> "SuiteFrame":
+        """Frame over cached entries; traces stay on disk until touched.
+
+        ``keys=None`` opens every readable entry of the cache directory
+        (deterministic key order).  v2 entries contribute their summary
+        JSON now and a lazily *memory-mapped* trace blob later; legacy v1
+        entries (trace rows inline in the JSON) decode their matrix on
+        first touch -- nothing smaller exists on disk for them.  With
+        explicit ``keys``, a missing or corrupt entry raises; the
+        directory walk skips unreadable debris instead.
+        """
+        explicit = keys is not None
+        keys = list(keys) if explicit else cache.keys()
+        if specs is not None and len(specs) != len(keys):
+            raise SimulationError(
+                "%d specs for %d cache keys" % (len(specs), len(keys))
+            )
+        benchmarks: List[str] = []
+        modes: List[str] = []
+        rows: Dict[str, List] = {
+            field: [] for field in FLOAT_FIELDS + COUNT_FIELDS
+        }
+        completed: List[bool] = []
+        trace_columns: List[List[str]] = []
+        loaders: List[TraceLoader] = []
+        kept: List[str] = []
+        kept_specs: List[RunSpec] = []
+        for i, key in enumerate(keys):
+            payload = cache.load_summary(key)
+            if payload is None:
+                if explicit:
+                    raise SimulationError(
+                        "cache entry %s is missing or unreadable" % key
+                    )
+                continue
+            try:
+                meta = payload["trace"]
+                for field in FLOAT_FIELDS:
+                    rows[field].append(float(payload[field]))
+                for field in COUNT_FIELDS:
+                    rows[field].append(int(payload[field]))
+                benchmarks.append(payload["benchmark"])
+                modes.append(payload["mode"])
+                completed.append(bool(payload["completed"]))
+                trace_columns.append(list(meta["columns"]))
+            except (KeyError, TypeError, ValueError):
+                # roll back the partially appended row
+                del benchmarks[len(kept):]
+                del modes[len(kept):]
+                del completed[len(kept):]
+                del trace_columns[len(kept):]
+                for field in rows:
+                    del rows[field][len(kept):]
+                if explicit:
+                    raise SimulationError(
+                        "cache entry %s has a malformed summary" % key
+                    ) from None
+                continue
+            loaders.append(_cache_loader(cache, key, payload, mmap))
+            kept.append(key)
+            if specs is not None:
+                kept_specs.append(specs[i])
+        scalars = {
+            field: np.array(rows[field], dtype=float)
+            for field in FLOAT_FIELDS
+        }
+        scalars.update(
+            {
+                field: np.array(rows[field], dtype=np.int64)
+                for field in COUNT_FIELDS
+            }
+        )
+        scalars["completed"] = np.array(completed, dtype=bool)
+        return cls(
+            benchmarks=benchmarks,
+            modes=modes,
+            scalars=scalars,
+            trace_columns=trace_columns,
+            trace_loaders=loaders,
+            keys=kept,
+            specs=kept_specs if specs is not None else None,
+        )
+
+    @classmethod
+    def open_dir(cls, root: str, mmap: bool = True) -> "SuiteFrame":
+        """Frame over every entry of an on-disk cache directory."""
+        return cls.from_cache(
+            ResultCache(root=root, memory=False), mmap=mmap
+        )
+
+    # ------------------------------------------------------------------
+    # columnar access
+    def __len__(self) -> int:
+        return len(self.benchmark)
+
+    def column(self, field: str) -> np.ndarray:
+        """One summary field as a struct-of-arrays column."""
+        try:
+            return self._scalars[field]
+        except KeyError:
+            raise SimulationError(
+                "unknown summary column %r (have %s)"
+                % (field, sorted(self._scalars))
+            ) from None
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Chain position of every row (requires spec metadata)."""
+        if self.specs is None:
+            raise SimulationError(
+                "frame carries no specs; chain positions unknown"
+            )
+        return np.array([s.position for s in self.specs], dtype=np.int64)
+
+    @property
+    def categories(self) -> List[str]:
+        """Workload power category of every row (requires spec metadata)."""
+        if self.specs is None:
+            raise SimulationError(
+                "frame carries no specs; workload categories unknown"
+            )
+        return [s.workload.category for s in self.specs]
+
+    def trace(self, i: int) -> np.ndarray:
+        """Row ``i``'s full trace matrix (memoised lazy load)."""
+        cached = self._traces[i]
+        if cached is None:
+            cached = self._trace_loaders[i]()
+            self._traces[i] = cached
+        return cached
+
+    def trace_column(self, i: int, name: str) -> np.ndarray:
+        """One column of row ``i``'s trace (a view; pages load on demand)."""
+        try:
+            idx = self._trace_columns[i].index(name)
+        except ValueError:
+            raise SimulationError(
+                "run %d has no trace column %r" % (i, name)
+            ) from None
+        return self.trace(i)[:, idx]
+
+    def trace_matrix(self, i: int, names: Sequence[str]) -> np.ndarray:
+        """Named columns of row ``i``'s trace, stacked ``(rows, len(names))``."""
+        return np.stack([self.trace_column(i, n) for n in names], axis=1)
+
+    def column_batch(self, name: str) -> List[np.ndarray]:
+        """One trace column across every row (the ``*_batch`` kernel feed)."""
+        return [self.trace_column(i, name) for i in range(len(self))]
+
+    def select(self, indices: Sequence[int]) -> "SuiteFrame":
+        """A sub-frame of the given rows (shares loaded trace memos)."""
+        indices = [int(i) for i in indices]
+        frame = SuiteFrame(
+            benchmarks=[self.benchmark[i] for i in indices],
+            modes=[self.mode[i] for i in indices],
+            scalars={k: v[indices] for k, v in self._scalars.items()},
+            trace_columns=[self._trace_columns[i] for i in indices],
+            trace_loaders=[self._trace_loaders[i] for i in indices],
+            keys=(
+                [self.keys[i] for i in indices]
+                if self.keys is not None
+                else None
+            ),
+            specs=(
+                [self.specs[i] for i in indices]
+                if self.specs is not None
+                else None
+            ),
+        )
+        frame._traces = [self._traces[i] for i in indices]
+        return frame
+
+    # ------------------------------------------------------------------
+    # reductions
+    def stability(self, skip_s=None) -> Dict[str, np.ndarray]:
+        """Per-run regulation-quality arrays (see ``stability_stats_batch``)."""
+        return stability_stats_batch(
+            self.column_batch("time_s"),
+            self.column_batch("max_temp_c"),
+            skip_s=skip_s,
+            execution_times_s=self.column("execution_time_s"),
+        )
+
+    def regulation(self, constraint_c: float, skip_s=None) -> Dict[str, np.ndarray]:
+        """Per-run constraint-exceedance arrays over the settled regions."""
+        return regulation_quality_batch(
+            self.column_batch("time_s"),
+            self.column_batch("max_temp_c"),
+            constraint_c,
+            skip_s=skip_s,
+            execution_times_s=self.column("execution_time_s"),
+        )
+
+    def residency(self, aggregate: bool = False):
+        """Big-cluster frequency residency across the frame.
+
+        Per-run arrays keyed by frequency (GHz) by default; with
+        ``aggregate=True`` one interval-weighted mapping for the whole
+        frame (every run's intervals pooled).
+        """
+        freqs = [
+            self.trace_column(i, "big_freq_hz") / 1e9
+            for i in range(len(self))
+        ]
+        per_run = frequency_residency_batch(freqs)
+        if not aggregate:
+            return per_run
+        lengths = np.array([f.size for f in freqs], dtype=float)
+        total = float(lengths.sum())
+        return {
+            f: float(np.dot(fractions, lengths) / total)
+            for f, fractions in per_run.items()
+        }
+
+    def groupby(self, field: str) -> Dict[object, np.ndarray]:
+        """Row indices grouped by a metadata column, first-seen order.
+
+        ``field`` is ``"benchmark"``, ``"mode"``, ``"position"`` or
+        ``"category"`` (the latter two need spec metadata).  Values map to
+        index arrays usable with :meth:`select` or any reduction output.
+        """
+        if field == "benchmark":
+            labels: Sequence = self.benchmark
+        elif field == "mode":
+            labels = self.mode
+        elif field == "position":
+            labels = self.positions.tolist()
+        elif field == "category":
+            labels = self.categories
+        else:
+            raise SimulationError("cannot group by %r" % field)
+        groups: Dict[object, List[int]] = {}
+        for i, label in enumerate(labels):
+            groups.setdefault(label, []).append(i)
+        return {
+            label: np.array(indices, dtype=np.intp)
+            for label, indices in groups.items()
+        }
+
+    def savings(
+        self,
+        baseline_mode: str = "with_fan",
+        candidate_mode: str = "dtpm",
+    ) -> Dict[str, np.ndarray]:
+        """Vectorised baseline-vs-candidate comparison per benchmark.
+
+        Pairs each benchmark's ``baseline_mode`` row with its
+        ``candidate_mode`` row (scheduled rows additionally match on
+        chain position; repeated same-named rows pair positionally --
+        the k-th baseline with the k-th candidate, matching the
+        workload-major grid order of ``comparison_specs``) and reduces
+        the gathered power/time columns through the metrics batch
+        kernels.  Returns index arrays (``baseline``/``candidate``) plus
+        ``power_savings_pct`` / ``performance_loss_pct`` columns, rows
+        ordered by each pair's first appearance.
+        """
+        pos = (
+            self.positions
+            if self.specs is not None
+            else np.zeros(len(self), dtype=np.int64)
+        )
+        pairs: Dict[Tuple[str, int, int], List[Optional[int]]] = {}
+        order: List[Tuple[str, int, int]] = []
+        seen: Dict[Tuple[str, int, int], int] = {}
+        for i in range(len(self)):
+            slot = (
+                0
+                if self.mode[i] == baseline_mode
+                else 1
+                if self.mode[i] == candidate_mode
+                else None
+            )
+            if slot is None:
+                continue  # rows in neither mode (e.g. no_fan) drop out
+            # occurrence counter per (benchmark, position, slot): the
+            # k-th repeat opens (or joins) the k-th pair of that name
+            name_pos = (self.benchmark[i], int(pos[i]), slot)
+            k = seen.get(name_pos, 0)
+            seen[name_pos] = k + 1
+            ident = (self.benchmark[i], int(pos[i]), k)
+            if ident not in pairs:
+                pairs[ident] = [None, None]
+                order.append(ident)
+            pairs[ident][slot] = i
+        base_idx: List[int] = []
+        cand_idx: List[int] = []
+        for ident in order:
+            base, cand = pairs[ident]
+            if base is None or cand is None:
+                raise SimulationError(
+                    "benchmark %r lacks its %r/%r pair"
+                    % (ident[0], baseline_mode, candidate_mode)
+                )
+            base_idx.append(base)
+            cand_idx.append(cand)
+        baseline = np.array(base_idx, dtype=np.intp)
+        candidate = np.array(cand_idx, dtype=np.intp)
+        power = self.column("average_platform_power_w")
+        times = self.column("execution_time_s")
+        return {
+            "baseline": baseline,
+            "candidate": candidate,
+            "power_savings_pct": power_savings_pct_batch(
+                power[baseline], power[candidate]
+            ),
+            "performance_loss_pct": performance_loss_pct_batch(
+                times[baseline], times[candidate]
+            ),
+        }
+
+
+def _cache_loader(
+    cache: ResultCache, key: str, payload: dict, mmap: bool
+) -> TraceLoader:
+    """Lazy trace handle for one cached entry (memmap for v2, decode for v1)."""
+    if payload.get("artifact") == ARTIFACT_FORMAT:
+        return lambda: cache.open_trace(key, mmap=mmap)
+    columns = payload["trace"]["columns"]
+    rows = payload["trace"]["rows"]
+
+    def load_v1() -> np.ndarray:
+        if not rows:
+            return np.empty((0, len(columns)), dtype=np.float64)
+        return rows_to_matrix(columns, rows)
+
+    return load_v1
+
+
+def summarize_dir(root: str, mmap: bool = True) -> str:
+    """Human-readable digest of a cache directory's suite of runs.
+
+    The ``repro-dtpm suite summarize`` body: opens the directory as a
+    :class:`SuiteFrame` (traces memory-mapped) and renders per-mode
+    aggregate rows from its reductions.
+    """
+    frame = SuiteFrame.open_dir(root, mmap=mmap)
+    if len(frame) == 0:
+        return "cache at %s holds no readable run entries" % root
+    from repro.analysis.tables import render_table
+
+    stab = frame.stability()
+    power = frame.column("average_platform_power_w")
+    times = frame.column("execution_time_s")
+    rows = []
+    for mode, idx in sorted(frame.groupby("mode").items()):
+        rows.append(
+            [
+                mode,
+                "%d" % idx.size,
+                "%d" % len({frame.benchmark[i] for i in idx.tolist()}),
+                "%.1f" % float(np.mean(times[idx])),
+                "%.2f" % float(np.mean(power[idx])),
+                "%.1f" % float(np.mean(stab["average_temp_c"][idx])),
+                "%.1f" % float(np.max(stab["peak_c"][idx])),
+            ]
+        )
+    table = render_table(
+        ["mode", "runs", "benchmarks", "avg time (s)", "avg power (W)",
+         "avg settled (C)", "peak (C)"],
+        rows,
+        title="Suite summary: %d cached runs at %s" % (len(frame), root),
+    )
+    residency = frame.residency(aggregate=True)
+    top = sorted(residency.items(), key=lambda kv: -kv[1])[:4]
+    lines = [
+        table,
+        "",
+        "big-cluster residency (suite-wide): "
+        + ", ".join("%.1f GHz %.0f%%" % (f, 100.0 * frac) for f, frac in top),
+    ]
+    return "\n".join(lines)
+
+
+__all__ = [
+    "COUNT_FIELDS",
+    "FLOAT_FIELDS",
+    "SuiteFrame",
+    "summarize_dir",
+]

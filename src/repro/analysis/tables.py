@@ -33,6 +33,30 @@ def render_table(
     return "\n".join(lines)
 
 
+def markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> List[str]:
+    """Render a GitHub-flavoured markdown table as a list of lines.
+
+    The one copy of the pipe-table assembly every report section shares
+    (``| a | b |`` header, ``|---|---|`` separator, one line per row) --
+    cells are stringified as given, so callers keep full control of
+    number formatting.
+    """
+    if not headers:
+        raise SimulationError("a markdown table needs headers")
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "---|" * len(headers),
+    ]
+    for row in rows:
+        row = list(row)
+        if len(row) != len(headers):
+            raise SimulationError("row width does not match headers")
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return lines
+
+
 def frequency_table(frequencies_hz: Sequence[float], title: str) -> str:
     """Render an OPP table the way Tables 6.1-6.3 print it."""
     rows = [["%.0f" % (f / 1e6,)] for f in frequencies_hz]

@@ -7,12 +7,14 @@ Subcommands::
     python -m repro.cli run BENCH MODE     # one benchmark, one configuration
     python -m repro.cli compare BENCH      # all four configurations
     python -m repro.cli suite              # the Fig. 6.9 sweep
+    python -m repro.cli suite summarize    # columnar analytics over a cache
     python -m repro.cli sweep KNOB         # one ablation knob sweep
     python -m repro.cli matrix             # benchmarks x modes grid
     python -m repro.cli cache stats        # inspect the result cache
     python -m repro.cli cache prune        # bound / empty the result cache
+    python -m repro.cli report             # cache-aware markdown report
 
-``suite``, ``sweep`` and ``matrix`` accept ``--workers N`` (process
+``suite``, ``sweep``, ``matrix`` and ``report`` accept ``--workers N`` (process
 fan-out), ``--batch B`` (how many compatible runs one worker advances per
 control step; defaults to ``$REPRO_BATCH`` or 8) and ``--cache-dir DIR``
 (content-addressed result cache; defaults to ``$REPRO_CACHE_DIR`` when
@@ -22,7 +24,10 @@ back-to-back app sequences with thermal-state carryover on the grid;
 positions may pin their own thermal mode (``A:dtpm,B``), and ``--days N``
 repeats each schedule as a diurnal pattern (consecutive days separated by
 an overnight standby position, see :func:`repro.sim.scenario.diurnal`).
-Exposed as the ``repro-dtpm`` console script as well.
+``report`` takes the same ``--schedule``/``--days`` pair to append a
+scenario section (per-position stability/power deltas along the chain);
+against a warm cache the whole report renders without executing a single
+simulation.  Exposed as the ``repro-dtpm`` console script as well.
 """
 
 from __future__ import annotations
@@ -213,16 +218,43 @@ def _cmd_compare(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
+    from repro.errors import WorkloadError
 
     workloads = None
     if args.quick:
         workloads = [
             get_benchmark(n) for n in ("dijkstra", "patricia", "matrix_mult")
         ]
-    text = generate_report(models=default_models(), workloads=workloads)
+    scenario = None
+    if args.schedule:
+        from repro.sim.scenario import resolve_schedule_entry
+
+        try:
+            scenario = tuple(
+                resolve_schedule_entry(entry)
+                for entry in _parse_schedule_arg(args.schedule)
+            )
+        except (WorkloadError, ConfigurationError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    elif args.days is not None:
+        print(
+            "error: --days only applies with --schedule", file=sys.stderr
+        )
+        return 2
+    models = _load_models(args)
+    runner = _make_runner(args, models=models)
+    text = generate_report(
+        models=models,
+        workloads=workloads,
+        runner=runner,
+        scenario=scenario,
+        scenario_days=args.days if args.days is not None else 2,
+    )
     with open(args.output, "w") as fh:
         fh.write(text + "\n")
     print("report written to %s (%d lines)" % (args.output, text.count("\n") + 1))
+    print(runner.last_stats.summary())
     return 0
 
 
@@ -426,7 +458,19 @@ def _cmd_cache_prune(args) -> int:
     return 0
 
 
+def _cmd_suite_summarize(args) -> int:
+    from repro.analysis.suite import summarize_dir
+
+    root = _cache_root(args)
+    if root is None:
+        return 2
+    print(summarize_dir(root, mmap=not args.no_mmap))
+    return 0
+
+
 def _cmd_suite(args) -> int:
+    if getattr(args, "suite_command", None) == "summarize":
+        return _cmd_suite_summarize(args)
     print("Running the full Fig. 6.9 sweep (15 benchmarks x 2 configs)...")
     models = _load_models(args)
     runner = _make_runner(args, models=models)
@@ -483,8 +527,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("benchmark", choices=benchmark_names())
     p_cmp.set_defaults(func=_cmd_compare)
 
-    p_suite = sub.add_parser("suite", help="the full Fig. 6.9 sweep")
+    p_suite = sub.add_parser(
+        "suite",
+        help="the full Fig. 6.9 sweep (or `suite summarize` for columnar "
+             "analytics over an existing cache directory)",
+    )
     _add_runner_args(p_suite)
+    suite_sub = p_suite.add_subparsers(dest="suite_command")
+    p_summ = suite_sub.add_parser(
+        "summarize",
+        help="open a cache directory as one columnar SuiteFrame (traces "
+             "memory-mapped) and print per-mode aggregate reductions",
+    )
+    # SUPPRESS: the parent `suite` parser already owns --cache-dir (via
+    # _add_runner_args); a subparser default would clobber a value given
+    # before the subcommand token (`suite --cache-dir X summarize`)
+    p_summ.add_argument("--cache-dir", default=argparse.SUPPRESS,
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    p_summ.add_argument("--no-mmap", action="store_true",
+                        help="load trace blobs eagerly instead of "
+                             "memory-mapping them")
     p_suite.set_defaults(func=_cmd_suite)
 
     p_sweep = sub.add_parser(
@@ -546,10 +608,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="remove every result entry (models are kept)")
     p_cprune.set_defaults(func=_cmd_cache_prune)
 
-    p_rep = sub.add_parser("report", help="write a markdown evaluation report")
+    p_rep = sub.add_parser(
+        "report",
+        help="write a markdown evaluation report (cache-aware: a warm "
+             "result cache renders it without executing simulations)",
+    )
     p_rep.add_argument("--output", default="dtpm_report.md")
     p_rep.add_argument("--quick", action="store_true",
                        help="restrict to a few representative benchmarks")
+    p_rep.add_argument("--schedule", metavar="B1[:MODE],B2,...",
+                       help="add a scenario section: one day's app "
+                            "sequence run as a diurnal chain with "
+                            "thermal-state carryover")
+    p_rep.add_argument("--days", type=_positive_int, default=None,
+                       help="days the --schedule pattern repeats, "
+                            "separated by overnight standby (default: 2)")
+    _add_runner_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
     return parser
 

@@ -256,7 +256,9 @@ class ResultCache:
             raise SimulationError(
                 "a cache needs a root directory or the memory layer"
             )
-        self.root = os.path.abspath(root) if root else None
+        self.root = (
+            os.path.abspath(os.path.expanduser(root)) if root else None
+        )
         self.mmap = mmap
         # decoded results, so repeated in-process hits skip JSON parsing
         # (callers share the object, like the old per-session run memo)
@@ -363,6 +365,58 @@ class ResultCache:
             self._atomic_write(path, payload_bytes(result_to_summary(result)))
         self.stats.stores += 1
 
+    # ------------------------------------------------------------------
+    # suite-scale read path: summaries without traces, traces as memmaps
+    # (repro.analysis.suite opens whole directories through these)
+    def keys(self) -> List[str]:
+        """Every key with an on-disk summary, in deterministic order."""
+        if self.root is None or not os.path.isdir(self.root):
+            return []
+        return [key for key, _, _ in _iter_entries(self.root)]
+
+    def load_summary(self, key: str) -> Optional[dict]:
+        """One entry's summary payload, without touching its trace blob.
+
+        For v2 entries this is the small summary JSON (scalars + trace
+        shape); v1 entries return their whole legacy payload (which
+        inlines the trace rows -- nothing smaller exists on disk).
+        Returns ``None`` on a miss or a corrupt entry.  Deliberately does
+        **not** bump the LRU stamp: analytics sweeps over a suite
+        directory are bulk reads and must not reorder the eviction queue
+        wholesale.
+        """
+        if self.root is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                return json.loads(fh.read().decode("utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def iter_summaries(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(key, summary payload)`` for every readable disk entry."""
+        for key in self.keys():
+            payload = self.load_summary(key)
+            if payload is not None:
+                yield key, payload
+
+    def trace_path(self, key: str) -> str:
+        """Path of the v2 trace blob belonging to ``key``."""
+        if self.root is None:
+            raise SimulationError("cache has no root directory")
+        return self._blob_path(key)
+
+    def open_trace(self, key: str, mmap: Optional[bool] = None) -> np.ndarray:
+        """The trace matrix of one v2 entry (a memory map by default).
+
+        ``mmap=None`` follows the cache's construction flag; analytics
+        callers pass ``mmap=True`` so a whole suite directory opens as
+        lazy views and only the pages a reduction touches are ever read.
+        """
+        return load_trace_blob(
+            self.trace_path(key), mmap=self.mmap if mmap is None else mmap
+        )
+
     def __contains__(self, key: str) -> bool:
         if self._memory is not None and key in self._memory:
             return True
@@ -435,7 +489,7 @@ def _iter_entries(root: str) -> Iterator[Tuple[str, str, Optional[str]]]:
 
 def disk_usage(root: str) -> DiskUsage:
     """Inspect an on-disk cache directory (results, blobs, models)."""
-    root = os.path.abspath(root)
+    root = os.path.abspath(os.path.expanduser(root))
     usage = DiskUsage(root=root)
     if not os.path.isdir(root):
         usage.notes.append("directory does not exist")
@@ -505,7 +559,7 @@ def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
     a blob keeps its data (POSIX unlink semantics); files a concurrent
     pruner removed first are simply skipped, never an error.
     """
-    root = os.path.abspath(root)
+    root = os.path.abspath(os.path.expanduser(root))
     if not os.path.isdir(root):
         return 0, 0
     removed = 0

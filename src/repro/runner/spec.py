@@ -232,6 +232,17 @@ class RunSpec:
         )
 
     @property
+    def position(self) -> int:
+        """This spec's 0-based position along its scenario chain.
+
+        0 for plain specs; scheduled specs sit ``len(history)`` runs into
+        their sequence.  The suite analytics layer groups per-position
+        reductions (stability/power deltas along a diurnal chain) by this
+        value.
+        """
+        return len(self.history)
+
+    @property
     def schedule(self) -> Tuple[WorkloadTrace, ...]:
         """The full workload sequence this spec's execution simulates."""
         return self.history + (self.workload,)

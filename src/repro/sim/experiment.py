@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.errors import SimulationError
 from repro.platform.specs import PlatformSpec
 from repro.runner.execute import execute_spec, make_dtpm_governor
 from repro.runner.runner import ParallelRunner, ensure_runner
@@ -34,6 +35,8 @@ __all__ = [
     "make_dtpm_governor",
     "run_benchmark",
     "compare_modes",
+    "comparison_specs",
+    "comparison_rows",
     "dtpm_vs_default",
     "comparison_row",
 ]
@@ -106,6 +109,48 @@ def comparison_row(
     )
 
 
+def comparison_specs(
+    workloads: Sequence[WorkloadTrace],
+    spec: Optional[PlatformSpec] = None,
+    config: Optional[SimulationConfig] = None,
+    warm_start_c: float = 52.0,
+    max_duration_s: float = 900.0,
+) -> List[RunSpec]:
+    """The Fig. 6.9 grid as declarative specs: (baseline, DTPM) per workload.
+
+    Workload-major, baseline first -- the one expansion shared by
+    :func:`dtpm_vs_default` and the report generator's savings section,
+    so both read (and warm) identical cache entries.
+    """
+    return [
+        RunSpec(
+            workload=workload,
+            mode=mode,
+            config=config,
+            platform=spec,
+            warm_start_c=warm_start_c,
+            max_duration_s=max_duration_s,
+        )
+        for workload in workloads
+        for mode in (ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM)
+    ]
+
+
+def comparison_rows(
+    workloads: Sequence[WorkloadTrace], results: Sequence[RunResult]
+) -> List[ComparisonRow]:
+    """Fig.-6.9 rows from :func:`comparison_specs`-ordered results."""
+    if len(results) != 2 * len(workloads):
+        raise SimulationError(
+            "%d workloads need paired results, got %d"
+            % (len(workloads), len(results))
+        )
+    return [
+        comparison_row(workload, results[2 * i], results[2 * i + 1])
+        for i, workload in enumerate(workloads)
+    ]
+
+
 def dtpm_vs_default(
     workloads: Iterable[WorkloadTrace],
     models: Optional[ModelBundle] = None,
@@ -118,21 +163,12 @@ def dtpm_vs_default(
     """The Fig. 6.9 sweep: DTPM against the fan-cooled default."""
     models = models or default_models()
     workloads = list(workloads)
-    specs = [
-        RunSpec(
-            workload=workload,
-            mode=mode,
-            config=config,
-            platform=spec,
-            warm_start_c=warm_start_c,
-            max_duration_s=max_duration_s,
-        )
-        for workload in workloads
-        for mode in (ThermalMode.DEFAULT_WITH_FAN, ThermalMode.DTPM)
-    ]
+    specs = comparison_specs(
+        workloads,
+        spec=spec,
+        config=config,
+        warm_start_c=warm_start_c,
+        max_duration_s=max_duration_s,
+    )
     results = ensure_runner(runner, models).run(specs)
-    rows: List[ComparisonRow] = []
-    for i, workload in enumerate(workloads):
-        base, dtpm = results[2 * i], results[2 * i + 1]
-        rows.append(comparison_row(workload, base, dtpm))
-    return rows
+    return comparison_rows(workloads, results)

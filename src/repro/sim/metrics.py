@@ -12,27 +12,53 @@ from repro.sim.consumers import StreamingStability, replay
 from repro.sim.run_result import RunResult
 
 
+def power_savings_pct_batch(
+    baseline_w: np.ndarray, candidate_w: np.ndarray
+) -> np.ndarray:
+    """Per-pair platform power savings (%), array-in/array-out.
+
+    Elementwise over aligned (baseline, candidate) power columns -- the
+    suite-scale form of :func:`power_savings_pct`, which is its B=1 view.
+    """
+    baseline_w = np.asarray(baseline_w, dtype=float)
+    candidate_w = np.asarray(candidate_w, dtype=float)
+    if np.any(baseline_w <= 0):
+        raise SimulationError("baseline has no recorded power")
+    return 100.0 * ((baseline_w - candidate_w) / baseline_w)
+
+
 def power_savings_pct(baseline: RunResult, candidate: RunResult) -> float:
     """Platform power saved by ``candidate`` relative to ``baseline`` (%).
 
     The paper's savings numbers compare average *platform* power (external
     meter) of the DTPM configuration against the fan-cooled default.
     """
-    if baseline.average_platform_power_w <= 0:
-        raise SimulationError("baseline has no recorded power")
-    return 100.0 * (
-        (baseline.average_platform_power_w - candidate.average_platform_power_w)
-        / baseline.average_platform_power_w
+    return float(
+        power_savings_pct_batch(
+            np.array([baseline.average_platform_power_w]),
+            np.array([candidate.average_platform_power_w]),
+        )[0]
     )
+
+
+def performance_loss_pct_batch(
+    baseline_s: np.ndarray, candidate_s: np.ndarray
+) -> np.ndarray:
+    """Per-pair execution-time increase (%), array-in/array-out."""
+    baseline_s = np.asarray(baseline_s, dtype=float)
+    candidate_s = np.asarray(candidate_s, dtype=float)
+    if np.any(baseline_s <= 0):
+        raise SimulationError("baseline has no execution time")
+    return 100.0 * ((candidate_s - baseline_s) / baseline_s)
 
 
 def performance_loss_pct(baseline: RunResult, candidate: RunResult) -> float:
     """Execution-time increase of ``candidate`` over ``baseline`` (%)."""
-    if baseline.execution_time_s <= 0:
-        raise SimulationError("baseline has no execution time")
-    return 100.0 * (
-        (candidate.execution_time_s - baseline.execution_time_s)
-        / baseline.execution_time_s
+    return float(
+        performance_loss_pct_batch(
+            np.array([baseline.execution_time_s]),
+            np.array([candidate.execution_time_s]),
+        )[0]
     )
 
 

@@ -11,6 +11,23 @@ import numpy as np
 from repro.errors import SimulationError
 
 
+def settle_start(times: np.ndarray, skip_s: float) -> int:
+    """First index of the settled region of a trace's time axis.
+
+    The one copy of the settle-window arithmetic shared by
+    :meth:`RunResult.settle_slice`, the streaming consumers' clamp
+    documentation and the suite-scale batch reductions
+    (:mod:`repro.analysis.stats`), so every metrics path skips an
+    identical warm-up region: samples before ``times[0] + skip_s`` are
+    excluded, but the region is widened to at least the trace's last two
+    samples (the short-trace clamp).  Returns 0 for an empty axis.
+    """
+    if times.size == 0:
+        return 0
+    start = int(np.searchsorted(times, times[0] + skip_s))
+    return min(start, max(0, times.size - 2))
+
+
 def rows_to_matrix(columns: List[str], rows: List[List[float]]) -> np.ndarray:
     """Validate and coerce row-oriented trace data to a float64 matrix.
 
@@ -260,9 +277,7 @@ class RunResult:
         t = self.times_s()
         if t.size == 0:
             return slice(0, 0)
-        start = int(np.searchsorted(t, t[0] + skip_s))
-        start = min(start, max(0, t.size - 2))
-        return slice(start, t.size)
+        return slice(settle_start(t, skip_s), t.size)
 
     # -- stability metrics (Fig. 6.5) -----------------------------------
     def temp_max_min_c(self, skip_s: float = 15.0) -> float:

@@ -3,15 +3,28 @@
 import numpy as np
 import pytest
 
-from repro.analysis.figures import ascii_bars, ascii_grouped_bars, ascii_timeseries
+from repro.analysis.figures import (
+    ascii_bars,
+    ascii_grouped_bars,
+    ascii_timeseries,
+    sparkline,
+)
 from repro.analysis.stats import (
     average_fan_power_w,
     fan_duty,
     frequency_residency,
+    frequency_residency_batch,
     regulation_quality,
+    regulation_quality_batch,
     stability_stats,
+    stability_stats_batch,
 )
-from repro.analysis.tables import benchmark_table, frequency_table, render_table
+from repro.analysis.tables import (
+    benchmark_table,
+    frequency_table,
+    markdown_table,
+    render_table,
+)
 from repro.errors import SimulationError
 from repro.platform.specs import BIG_FREQUENCIES_HZ, FAN_POWER_W
 from repro.sim.run_result import RUN_COLUMNS, RunResult, TraceRecorder
@@ -60,6 +73,55 @@ def test_frequency_residency():
     resid = frequency_residency(res)
     assert resid[1.6] == pytest.approx(0.5)
     assert resid[1.2] == pytest.approx(0.5)
+
+
+def test_stability_batch_pins_scalar_as_b1_view():
+    results = [
+        _result(temps=[50.0] * 50 + [62.0, 63.0] * 25),
+        _result(temps=[55.0] * 30 + [60.0] * 70),
+    ]
+    batch = stability_stats_batch(
+        [r.times_s() for r in results],
+        [r.max_temps_c() for r in results],
+        skip_s=5.0,
+    )
+    for i, res in enumerate(results):
+        scalar = stability_stats(res, skip_s=5.0)
+        assert batch["average_temp_c"][i] == scalar.average_temp_c
+        assert batch["max_min_c"][i] == scalar.max_min_c
+        assert batch["variance_c2"][i] == scalar.variance_c2
+        assert batch["peak_c"][i] == scalar.peak_c
+    # per-run skip windows are allowed
+    ragged = stability_stats_batch(
+        [r.times_s() for r in results],
+        [r.max_temps_c() for r in results],
+        skip_s=[5.0, 2.0],
+    )
+    assert ragged["average_temp_c"][1] == stability_stats(
+        results[1], skip_s=2.0
+    ).average_temp_c
+
+
+def test_regulation_batch_pins_scalar_as_b1_view():
+    res = _result(temps=[62.0] * 80 + [64.0] * 20)
+    batch = regulation_quality_batch(
+        [res.times_s()], [res.max_temps_c()], 63.0, skip_s=0.5
+    )
+    scalar = regulation_quality(res, 63.0, skip_s=0.5)
+    for field, values in batch.items():
+        assert values[0] == scalar[field]
+
+
+def test_frequency_residency_batch_unions_keys():
+    a = _result(freqs=[1.6e9] * 50 + [1.2e9] * 50)
+    b = _result(freqs=[0.8e9] * 100)
+    resid = frequency_residency_batch(
+        [a.big_freqs_ghz(), b.big_freqs_ghz()]
+    )
+    assert set(resid) == {0.8, 1.2, 1.6}
+    assert resid[1.6][0] == pytest.approx(0.5)
+    assert resid[1.6][1] == 0.0
+    assert resid[0.8][1] == pytest.approx(1.0)
 
 
 def test_fan_duty_and_average_power():
@@ -117,6 +179,29 @@ def test_ascii_timeseries_validation():
 def test_ascii_bars():
     out = ascii_bars({"dijkstra": 3.0, "matmul": 14.0}, unit="%")
     assert "dijkstra" in out and "#" in out
+
+
+def test_markdown_table_shape():
+    lines = markdown_table(["a", "bb"], [["1", "2"], ["3", "4"]])
+    assert lines == [
+        "| a | bb |",
+        "|---|---|",
+        "| 1 | 2 |",
+        "| 3 | 4 |",
+    ]
+    with pytest.raises(SimulationError):
+        markdown_table([], [])
+    with pytest.raises(SimulationError):
+        markdown_table(["a"], [[1, 2]])
+
+
+def test_sparkline():
+    out = sparkline([0.0, 5.0, 10.0])
+    assert len(out) == 3
+    assert out[0] == " " and out[-1] == "@"
+    assert len(set(sparkline([3.0, 3.0, 3.0]))) == 1  # constant mid-level
+    with pytest.raises(SimulationError):
+        sparkline([])
 
 
 def test_ascii_grouped_bars():

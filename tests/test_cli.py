@@ -169,6 +169,33 @@ def test_cache_stats_and_prune(capsys, tmp_path):
     assert "0 results" in capsys.readouterr().out
 
 
+def test_report_days_requires_schedule(capsys):
+    assert main(["report", "--days", "2"]) == 2
+    assert "--days only applies" in capsys.readouterr().err
+    assert main(["report", "--schedule", "doom"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_suite_summarize_over_cache_directory(capsys, tmp_path):
+    cache_args = ["--cache-dir", str(tmp_path)]
+    assert main([
+        "matrix", "--benchmarks", "dijkstra",
+        "--modes", "with_fan,without_fan",
+    ] + cache_args) == 0
+    capsys.readouterr()
+    assert main(["suite", "summarize"] + cache_args) == 0
+    out = capsys.readouterr().out
+    assert "Suite summary: 2 cached runs" in out
+    assert "with_fan" in out and "without_fan" in out
+    assert "big-cluster residency" in out
+    # the flag also works before the subcommand token (the parent
+    # parser owns it there; the subparser must not clobber the value)
+    assert main(["suite"] + cache_args + ["summarize"]) == 0
+    assert "Suite summary: 2 cached runs" in capsys.readouterr().out
+    assert main(["suite", "summarize", "--cache-dir", ""]) == 2
+    assert "no cache directory" in capsys.readouterr().err
+
+
 def test_cache_requires_directory(capsys, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     # the parser default was captured at build time, so pass an empty dir
