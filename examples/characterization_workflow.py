@@ -16,10 +16,15 @@ Run with::
 
 import numpy as np
 
-from repro.platform.specs import POWER_RESOURCES, Resource
-from repro.power.characterization import FurnaceRig
-from repro.sim.engine import Simulator, ThermalMode
-from repro.thermal.sysid import PrbsExperiment, SystemIdentifier
+from repro import (
+    FurnaceRig,
+    PrbsExperiment,
+    Resource,
+    Simulator,
+    SystemIdentifier,
+    ThermalMode,
+)
+from repro.platform.specs import POWER_RESOURCES
 from repro.thermal.validation import error_vs_horizon
 from repro.units import celsius_to_kelvin
 from repro.workloads.benchmarks import BLOWFISH

@@ -13,16 +13,16 @@ Run with::
 """
 
 
-from repro.config import SimulationConfig
-from repro.platform.specs import (
-    LEAKAGE_SPECS,
-    LeakageSpec,
+from repro import (
     PlatformSpec,
     Resource,
+    SimulationConfig,
+    Simulator,
+    ThermalMode,
+    build_models,
 )
-from repro.sim.engine import Simulator, ThermalMode
+from repro.platform.specs import LEAKAGE_SPECS, LeakageSpec
 from repro.sim.experiment import make_dtpm_governor
-from repro.sim.models import build_models
 from repro.workloads.multithreaded import matrix_mult_mt
 
 

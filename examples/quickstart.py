@@ -20,15 +20,15 @@ Run with::
 
 import os
 
-from repro import ThermalMode, get_benchmark
-from repro.analysis.figures import ascii_timeseries
-from repro.runner import (
+from repro import (
     ExperimentMatrix,
     ParallelRunner,
     ResultCache,
-    cached_build_models,
-    default_cache_dir,
+    ThermalMode,
+    get_benchmark,
 )
+from repro.analysis.figures import ascii_timeseries
+from repro.runner import cached_build_models, default_cache_dir
 from repro.sim.metrics import (
     performance_loss_pct,
     power_savings_pct,

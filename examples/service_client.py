@@ -1,0 +1,105 @@
+"""Talk to a running evaluation service with nothing but the stdlib.
+
+Start the service in another terminal (point it at a cache directory so
+results persist across restarts)::
+
+    repro-dtpm serve --cache-dir ~/.cache/repro-dtpm --workers 2
+
+then run this client::
+
+    python examples/service_client.py [http://127.0.0.1:8765]
+
+It POSTs one RunSpec as versioned wire JSON (``"schema": 1``) to
+``/v1/runs``.  A cold spec comes back 202 with a job id; the client polls
+``/v1/jobs/{id}`` until the background workers finish, then fetches the
+summary from ``/v1/runs/{key}``.  Run it twice: the second invocation is
+warm -- the service answers 200 straight from the content-addressed
+cache, executing zero simulations.
+"""
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: dijkstra under the fan-less reactive governor -- cheap enough to watch
+#: complete, expensive enough that the warm/cold difference is obvious.
+SPEC = {
+    "schema": 1,
+    "workload": "dijkstra",
+    "mode": "reactive",
+}
+
+
+def request(url, payload=None):
+    """One JSON round-trip; returns (status, decoded body)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=600) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def main() -> int:
+    base = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8765"
+    status, health = request(base + "/healthz")
+    if status != 200:
+        print("service not healthy at %s: %s" % (base, health))
+        return 1
+    print("service up (%.0f s) at %s" % (health["uptime_s"], base))
+
+    status, body = request(base + "/v1/runs", SPEC)
+    if status == 200:
+        print("warm: served from cache, zero simulations executed")
+    elif status == 202:
+        job = body["job"]
+        print(
+            "cold: queued as %s%s"
+            % (job, " (coalesced onto an in-flight job)"
+               if body["coalesced"] else "")
+        )
+        while True:
+            status, progress = request(base + "/v1/jobs/" + job)
+            print(
+                "  %s: %d/%d done, %d executed"
+                % (progress["state"], progress["completed"],
+                   progress["total"], progress["executed"])
+            )
+            if progress["state"] in ("done", "failed"):
+                break
+            time.sleep(0.5)
+        if progress["state"] == "failed":
+            print("job failed: %s" % progress["error"])
+            return 1
+    else:
+        print("unexpected response %d: %s" % (status, body))
+        return 1
+
+    status, summary = request(base + "/v1/runs/" + body["key"])
+    if status != 200:
+        print("summary fetch failed %d: %s" % (status, summary))
+        return 1
+    print(
+        "%s/%s: %.1f s, %.2f W avg, %.0f J, %d interventions"
+        % (summary["benchmark"], summary["mode"],
+           summary["execution_time_s"],
+           summary["average_platform_power_w"], summary["energy_j"],
+           summary["interventions"])
+    )
+
+    status, stats = request(base + "/v1/stats")
+    queue = stats["queue"]
+    print(
+        "service stats: %d cache hits, %d executed, %d coalesced"
+        % (stats["cache"]["hits"], queue["executed"], queue["coalesced"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,8 +23,17 @@ Quickstart::
     result = run_benchmark(get_benchmark("templerun"), ThermalMode.DTPM,
                            models=models)
     print(result.summary())
+
+Or, grid-first (every piece below is a stable top-level export)::
+
+    from repro import ExperimentMatrix, ParallelRunner, ResultCache
+
+    runner = ParallelRunner(workers=4, cache=ResultCache.from_env())
+    results = runner.run(ExperimentMatrix(workloads=("dijkstra",)))
 """
 
+from repro.analysis.report import generate_report
+from repro.analysis.suite import SuiteFrame
 from repro.config import DEFAULT_CONFIG, SimulationConfig
 from repro.core import (
     DtpmGovernor,
@@ -36,6 +45,12 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.platform import OdroidBoard, PlatformSpec, Resource
+from repro.runner import (
+    ExperimentMatrix,
+    ParallelRunner,
+    ResultCache,
+    RunSpec,
+)
 from repro.power import FurnaceRig, LeakageModel, PowerModel, default_power_model
 from repro.sim import (
     ModelBundle,
@@ -61,6 +76,12 @@ __version__ = "1.0.0"
 __all__ = [
     "DEFAULT_CONFIG",
     "SimulationConfig",
+    "ExperimentMatrix",
+    "ParallelRunner",
+    "ResultCache",
+    "RunSpec",
+    "SuiteFrame",
+    "generate_report",
     "DtpmGovernor",
     "DtpmPolicy",
     "PowerBudgetComputer",

@@ -13,6 +13,7 @@ Subcommands::
     python -m repro.cli cache stats        # inspect the result cache
     python -m repro.cli cache prune        # bound / empty the result cache
     python -m repro.cli report             # cache-aware markdown report
+    python -m repro.cli serve              # always-on evaluation service
 
 ``suite``, ``sweep``, ``matrix`` and ``report`` accept ``--workers N`` (process
 fan-out), ``--batch B`` (how many compatible runs one worker advances per
@@ -33,6 +34,7 @@ simulation.  Exposed as the ``repro-dtpm`` console script as well.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -375,6 +377,9 @@ def _cmd_matrix(args) -> int:
             schedules=schedules,
             idle_gap_s=args.idle_gap,
         )
+        # round-trip through the versioned wire codec so the CLI runs the
+        # exact grid a service client POSTing this payload would get
+        matrix = ExperimentMatrix.from_dict(matrix.to_dict())
     except (WorkloadError, ConfigurationError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -430,6 +435,15 @@ def _cmd_cache_stats(args) -> int:
     root = _cache_root(args)
     if root is None:
         return 2
+    # a pruned store keeps its shard directories, so listdir() only comes
+    # up empty for directories no cache writer has ever touched
+    if not os.path.isdir(root) or not os.listdir(root):
+        print(
+            "error: no result cache at %s (nothing has been cached "
+            "there yet)" % root,
+            file=sys.stderr,
+        )
+        return 2
     usage = disk_usage(root)
     print("cache at %s" % usage.root)
     print("  " + usage.summary())
@@ -464,7 +478,18 @@ def _cmd_suite_summarize(args) -> int:
     root = _cache_root(args)
     if root is None:
         return 2
-    print(summarize_dir(root, mmap=not args.no_mmap))
+    if not os.path.isdir(root):
+        print(
+            "error: no cache directory at %s (run a suite with "
+            "--cache-dir first)" % root,
+            file=sys.stderr,
+        )
+        return 2
+    text = summarize_dir(root, mmap=not args.no_mmap)
+    if "no readable run entries" in text:
+        print("error: %s" % text, file=sys.stderr)
+        return 2
+    print(text)
     return 0
 
 
@@ -495,6 +520,18 @@ def _cmd_suite(args) -> int:
     print("overall:", overall_summary(rows))
     print(runner.last_stats.summary())
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    return serve(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        batch=args.batch,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -625,6 +662,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "separated by overnight standby (default: 2)")
     _add_runner_args(p_rep)
     p_rep.set_defaults(func=_cmd_report)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="start the always-on evaluation service: POST RunSpec/matrix "
+             "wire JSON to /v1/runs and /v1/matrix; warm requests answer "
+             "from the cache with zero simulations, cold ones run on a "
+             "background job queue with request coalescing",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="bind port (default: 8765; 0 picks a free one)")
+    p_srv.add_argument("--workers", type=_positive_int, default=2,
+                       help="background job worker threads (default: 2)")
+    p_srv.add_argument("--batch", type=_positive_int, default=None,
+                       help="runs one job advances per control step "
+                            "(default: $REPRO_BATCH or 8)")
+    p_srv.add_argument("--cache-dir", default=default_cache_dir(),
+                       help="result-cache directory the service persists "
+                            "to (default: $REPRO_CACHE_DIR; without one "
+                            "results live in memory only)")
+    p_srv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -16,6 +16,10 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
 
+class WireError(ConfigurationError):
+    """A wire-format payload (versioned JSON) could not be decoded."""
+
+
 class PlatformError(ReproError):
     """Invalid operation requested on the simulated platform."""
 

@@ -66,6 +66,15 @@ from repro.runner.spec import (
     model_fingerprint,
     spec_key,
 )
+from repro.runner.wire import (
+    WIRE_SCHEMA,
+    matrix_from_wire,
+    matrix_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+    workload_from_wire,
+    workload_to_wire,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -74,6 +83,7 @@ __all__ = [
     "CACHE_FORMAT",
     "DEFAULT_BATCH",
     "MODELS_FORMAT",
+    "WIRE_SCHEMA",
     "CacheStats",
     "DiskUsage",
     "TRACE_BLOB_SUFFIX",
@@ -105,10 +115,16 @@ __all__ = [
     "ensure_runner",
     "execute_spec",
     "make_dtpm_governor",
+    "matrix_from_wire",
+    "matrix_to_wire",
     "model_fingerprint",
     "payload_bytes",
     "payload_to_result",
     "result_bytes",
     "result_to_payload",
+    "spec_from_wire",
+    "spec_to_wire",
     "spec_key",
+    "workload_from_wire",
+    "workload_to_wire",
 ]

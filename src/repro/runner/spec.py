@@ -223,6 +223,30 @@ class RunSpec:
         """Spec for a Table-6.4 benchmark looked up by name."""
         return cls(workload=get_benchmark(name), mode=mode, **kwargs)
 
+    def to_dict(self) -> dict:
+        """Canonical versioned (``"schema": 1``) JSON-able rendering.
+
+        The wire contract of the evaluation service and the CLI:
+        ``RunSpec.from_dict(spec.to_dict())`` reconstructs an equal spec,
+        so :func:`spec_key` -- and therefore every cached artifact --
+        survives the round trip unchanged.  See :mod:`repro.runner.wire`.
+        """
+        from repro.runner.wire import spec_to_wire
+
+        return spec_to_wire(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunSpec":
+        """Decode a :meth:`to_dict` payload (strict; versioned).
+
+        Raises :class:`~repro.errors.WireError` on structural problems
+        (unknown fields, missing ``schema``) and
+        :class:`ConfigurationError` on domain violations.
+        """
+        from repro.runner.wire import spec_from_wire
+
+        return spec_from_wire(payload)
+
     @property
     def needs_models(self) -> bool:
         """Whether executing this spec requires an identified ModelBundle."""
@@ -423,6 +447,24 @@ class ExperimentMatrix:
             raise ConfigurationError(
                 "guard-band axis requires all modes to be DTPM"
             )
+
+    def to_dict(self) -> dict:
+        """Canonical versioned (``"schema": 1``) JSON-able rendering.
+
+        ``ExperimentMatrix.from_dict(m.to_dict())`` expands to the same
+        ordered spec list with identical content keys; see
+        :mod:`repro.runner.wire`.
+        """
+        from repro.runner.wire import matrix_to_wire
+
+        return matrix_to_wire(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentMatrix":
+        """Decode a :meth:`to_dict` payload (strict; versioned)."""
+        from repro.runner.wire import matrix_from_wire
+
+        return matrix_from_wire(payload)
 
     def _atoms(self) -> List[Tuple[WorkloadTrace, ...]]:
         """Single workloads and schedules, uniformly as sequences."""

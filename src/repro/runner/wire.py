@@ -1,0 +1,473 @@
+"""Versioned JSON wire schema for :class:`RunSpec` and :class:`ExperimentMatrix`.
+
+Until now specs were constructor-only dataclasses: every consumer had to
+import the package and build them in-process.  This module gives them a
+canonical, versioned rendering (``"schema": 1``) that travels as plain
+JSON -- the contract of the evaluation service (:mod:`repro.service`),
+the CLI's grid construction and any out-of-process client.
+
+The round trip is **lossless by value**: ``spec_from_wire(spec_to_wire(s))``
+reconstructs a spec that compares equal to ``s`` field for field, so its
+content key (:func:`repro.runner.spec.spec_key`) is *identical* -- wire
+transport never invalidates a cache entry.  Workloads that match a
+registered Table-6.4 benchmark by value compress to their name on the
+wire (and resolve back through :func:`get_benchmark`); custom traces
+travel inline with their phase lists.
+
+Decoding is strict: unknown keys, missing required fields and malformed
+structures raise :class:`~repro.errors.WireError` (a
+:class:`ConfigurationError`) with the offending path in the message, so
+the service can answer malformed payloads with a structured 400 instead
+of a stack trace.  Domain validation (positive durations, known modes,
+guard-band applicability) stays where it always was -- in the dataclass
+``__post_init__`` -- and surfaces as :class:`ConfigurationError` too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.errors import WireError, WorkloadError
+from repro.platform.specs import (
+    CoreSpec,
+    LeakageSpec,
+    OppTable,
+    PlatformSpec,
+    Resource,
+    VoltageCurve,
+)
+from repro.runner.spec import ExperimentMatrix, RunSpec
+from repro.sim.engine import ThermalMode
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.trace import WorkloadPhase, WorkloadTrace
+
+#: Version of the wire rendering this module reads and writes.  Bump it
+#: when a field changes meaning; decoding rejects any other value, so a
+#: client and server never silently disagree about a payload's shape.
+WIRE_SCHEMA = 1
+
+_MODES: Dict[str, ThermalMode] = {m.value: m for m in ThermalMode}
+_RESOURCES: Dict[str, Resource] = {r.value: r for r in Resource}
+
+
+def _require_mapping(obj, where: str) -> dict:
+    if not isinstance(obj, dict):
+        raise WireError(
+            "%s must be a JSON object, got %s" % (where, type(obj).__name__)
+        )
+    return obj
+
+
+def _require_list(obj, where: str) -> list:
+    if not isinstance(obj, (list, tuple)):
+        raise WireError(
+            "%s must be a JSON array, got %s" % (where, type(obj).__name__)
+        )
+    return list(obj)
+
+
+def _reject_unknown(payload: dict, known, where: str) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise WireError(
+            "%s has unknown field(s) %s (schema %d knows %s)"
+            % (where, ", ".join(unknown), WIRE_SCHEMA, ", ".join(sorted(known)))
+        )
+
+
+def _mode_from_wire(obj, where: str) -> ThermalMode:
+    try:
+        return _MODES[obj]
+    except (KeyError, TypeError):
+        raise WireError(
+            "%s must be one of %s, got %r"
+            % (where, ", ".join(sorted(_MODES)), obj)
+        ) from None
+
+
+def _dataclass_defaults(cls) -> Dict[str, object]:
+    out = {}
+    for f in dataclasses.fields(cls):
+        if f.default is not dataclasses.MISSING:
+            out[f.name] = f.default
+    return out
+
+
+def _scalars_to_wire(obj) -> dict:
+    """Flat dataclass (scalar fields only) -> plain field dict."""
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def _scalars_from_wire(cls, obj, where: str):
+    payload = _require_mapping(obj, where)
+    names = [f.name for f in dataclasses.fields(cls)]
+    _reject_unknown(payload, names, where)
+    required = [
+        f.name
+        for f in dataclasses.fields(cls)
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    ]
+    missing = sorted(set(required) - set(payload))
+    if missing:
+        raise WireError(
+            "%s is missing required field(s) %s" % (where, ", ".join(missing))
+        )
+    return cls(**payload)
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+_WORKLOAD_FIELDS = [f.name for f in dataclasses.fields(WorkloadTrace)]
+
+
+def workload_to_wire(workload: WorkloadTrace):
+    """A workload as wire JSON: its name when it *is* that benchmark.
+
+    Registered benchmarks compress to their name (resolved back through
+    :func:`get_benchmark`, which returns an equal trace, so content keys
+    survive the round trip); anything else travels inline.
+    """
+    try:
+        if get_benchmark(workload.name) == workload:
+            return workload.name
+    except WorkloadError:
+        pass
+    payload = _scalars_to_wire(workload)
+    payload["phases"] = [_scalars_to_wire(p) for p in workload.phases]
+    return payload
+
+
+def workload_from_wire(obj, where: str = "workload") -> WorkloadTrace:
+    """Resolve a wire workload: a benchmark name or an inline trace."""
+    if isinstance(obj, str):
+        try:
+            return get_benchmark(obj)
+        except WorkloadError as exc:
+            raise WireError("%s: %s" % (where, exc)) from None
+    payload = dict(_require_mapping(obj, where))
+    _reject_unknown(payload, _WORKLOAD_FIELDS, where)
+    phases = tuple(
+        _scalars_from_wire(
+            WorkloadPhase, p, "%s.phases[%d]" % (where, i)
+        )
+        for i, p in enumerate(_require_list(
+            payload.pop("phases", []), where + ".phases"
+        ))
+    )
+    missing = sorted(
+        {"name", "category", "benchmark_type", "threads",
+         "total_work_gcycles"} - set(payload)
+    )
+    if missing:
+        raise WireError(
+            "%s is missing required field(s) %s" % (where, ", ".join(missing))
+        )
+    return WorkloadTrace(phases=phases, **payload)
+
+
+# ---------------------------------------------------------------------------
+# configuration and platform
+# ---------------------------------------------------------------------------
+def config_to_wire(config: Optional[SimulationConfig]) -> Optional[dict]:
+    return None if config is None else _scalars_to_wire(config)
+
+
+def config_from_wire(obj, where: str = "config") -> Optional[SimulationConfig]:
+    if obj is None:
+        return None
+    return _scalars_from_wire(SimulationConfig, obj, where)
+
+
+def _opp_to_wire(table: OppTable) -> dict:
+    return {
+        "name": table.name,
+        "frequencies_hz": list(table.frequencies_hz),
+        "voltage_curve": _scalars_to_wire(table.voltage_curve),
+    }
+
+
+def _opp_from_wire(obj, where: str) -> OppTable:
+    payload = _require_mapping(obj, where)
+    _reject_unknown(
+        payload, ("name", "frequencies_hz", "voltage_curve"), where
+    )
+    try:
+        name = payload["name"]
+        freqs = payload["frequencies_hz"]
+        curve = payload["voltage_curve"]
+    except KeyError as exc:
+        raise WireError("%s is missing field %s" % (where, exc)) from None
+    return OppTable(
+        name=name,
+        frequencies_hz=tuple(_require_list(freqs, where + ".frequencies_hz")),
+        voltage_curve=_scalars_from_wire(
+            VoltageCurve, curve, where + ".voltage_curve"
+        ),
+    )
+
+
+def platform_to_wire(platform: Optional[PlatformSpec]) -> Optional[dict]:
+    if platform is None:
+        return None
+    return {
+        "big_opp": _opp_to_wire(platform.big_opp),
+        "little_opp": _opp_to_wire(platform.little_opp),
+        "gpu_opp": _opp_to_wire(platform.gpu_opp),
+        "big_core": _scalars_to_wire(platform.big_core),
+        "little_core": _scalars_to_wire(platform.little_core),
+        "gpu_capacitance_f": platform.gpu_capacitance_f,
+        "mem_full_traffic_w": platform.mem_full_traffic_w,
+        "mem_vdd": platform.mem_vdd,
+        "leakage": {
+            resource.value: _scalars_to_wire(spec)
+            for resource, spec in sorted(
+                platform.leakage.items(), key=lambda kv: kv[0].value
+            )
+        },
+        "platform_static_power_w": platform.platform_static_power_w,
+        "fan_power_w": list(platform.fan_power_w),
+        "fan_conductance_gain": list(platform.fan_conductance_gain),
+        "cores_per_cluster": platform.cores_per_cluster,
+    }
+
+
+_PLATFORM_FIELDS = [f.name for f in dataclasses.fields(PlatformSpec)]
+
+
+def platform_from_wire(obj, where: str = "platform") -> Optional[PlatformSpec]:
+    if obj is None:
+        return None
+    payload = dict(_require_mapping(obj, where))
+    _reject_unknown(payload, _PLATFORM_FIELDS, where)
+    kwargs = {}
+    for name in ("big_opp", "little_opp", "gpu_opp"):
+        if name in payload:
+            kwargs[name] = _opp_from_wire(
+                payload.pop(name), "%s.%s" % (where, name)
+            )
+    for name in ("big_core", "little_core"):
+        if name in payload:
+            kwargs[name] = _scalars_from_wire(
+                CoreSpec, payload.pop(name), "%s.%s" % (where, name)
+            )
+    if "leakage" in payload:
+        leakage = {}
+        for key, value in _require_mapping(
+            payload.pop("leakage"), where + ".leakage"
+        ).items():
+            if key not in _RESOURCES:
+                raise WireError(
+                    "%s.leakage key must be one of %s, got %r"
+                    % (where, ", ".join(sorted(_RESOURCES)), key)
+                )
+            leakage[_RESOURCES[key]] = _scalars_from_wire(
+                LeakageSpec, value, "%s.leakage[%s]" % (where, key)
+            )
+        kwargs["leakage"] = leakage
+    for name in ("fan_power_w", "fan_conductance_gain"):
+        if name in payload:
+            kwargs[name] = tuple(
+                _require_list(payload.pop(name), "%s.%s" % (where, name))
+            )
+    kwargs.update(payload)
+    return PlatformSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# RunSpec
+# ---------------------------------------------------------------------------
+_SPEC_FIELDS = (
+    "schema", "workload", "mode", "config", "platform", "guard_band_k",
+    "warm_start_c", "max_duration_s", "seed", "history", "idle_gap_s",
+    "history_modes",
+)
+_SPEC_DEFAULTS = _dataclass_defaults(RunSpec)
+
+
+def _check_schema(payload: dict, where: str) -> None:
+    if "schema" not in payload:
+        raise WireError(
+            '%s is missing the "schema" version field (current: %d)'
+            % (where, WIRE_SCHEMA)
+        )
+    if payload["schema"] != WIRE_SCHEMA:
+        raise WireError(
+            "%s has unsupported schema %r (this build speaks %d)"
+            % (where, payload["schema"], WIRE_SCHEMA)
+        )
+
+
+def spec_to_wire(spec: RunSpec) -> dict:
+    """The canonical ``"schema": 1`` JSON rendering of one spec."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "workload": workload_to_wire(spec.workload),
+        "mode": spec.mode.value,
+        "config": config_to_wire(spec.config),
+        "platform": platform_to_wire(spec.platform),
+        "guard_band_k": spec.guard_band_k,
+        "warm_start_c": spec.warm_start_c,
+        "max_duration_s": spec.max_duration_s,
+        "seed": spec.seed,
+        "history": [workload_to_wire(w) for w in spec.history],
+        "idle_gap_s": spec.idle_gap_s,
+        "history_modes": [m.value for m in spec.history_modes],
+    }
+
+
+def spec_from_wire(obj, where: str = "spec") -> RunSpec:
+    """Decode one wire spec; the inverse of :func:`spec_to_wire`.
+
+    Only ``workload`` and ``mode`` are required beyond ``schema``; every
+    omitted field takes the :class:`RunSpec` default, so hand-written
+    payloads stay small.
+    """
+    payload = _require_mapping(obj, where)
+    _check_schema(payload, where)
+    _reject_unknown(payload, _SPEC_FIELDS, where)
+    for name in ("workload", "mode"):
+        if name not in payload:
+            raise WireError(
+                "%s is missing required field %r" % (where, name)
+            )
+
+    def default(name):
+        return payload.get(name, _SPEC_DEFAULTS[name])
+
+    return RunSpec(
+        workload=workload_from_wire(payload["workload"], where + ".workload"),
+        mode=_mode_from_wire(payload["mode"], where + ".mode"),
+        config=config_from_wire(default("config"), where + ".config"),
+        platform=platform_from_wire(
+            default("platform"), where + ".platform"
+        ),
+        guard_band_k=default("guard_band_k"),
+        warm_start_c=default("warm_start_c"),
+        max_duration_s=default("max_duration_s"),
+        seed=default("seed"),
+        history=tuple(
+            workload_from_wire(w, "%s.history[%d]" % (where, i))
+            for i, w in enumerate(
+                _require_list(default("history"), where + ".history")
+            )
+        ),
+        idle_gap_s=default("idle_gap_s"),
+        history_modes=tuple(
+            _mode_from_wire(m, "%s.history_modes[%d]" % (where, i))
+            for i, m in enumerate(
+                _require_list(
+                    default("history_modes"), where + ".history_modes"
+                )
+            )
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ExperimentMatrix
+# ---------------------------------------------------------------------------
+_MATRIX_FIELDS = (
+    "schema", "workloads", "modes", "configs", "guard_bands_k", "platform",
+    "warm_start_c", "max_duration_s", "base_seed", "schedules", "idle_gap_s",
+)
+_MATRIX_DEFAULTS = _dataclass_defaults(ExperimentMatrix)
+
+
+def _schedule_entry_to_wire(entry):
+    if isinstance(entry, tuple):
+        workload, mode = entry
+        return {"workload": workload_to_wire(workload), "mode": mode.value}
+    return workload_to_wire(entry)
+
+
+def _schedule_entry_from_wire(obj, where: str):
+    if isinstance(obj, dict) and set(obj) == {"workload", "mode"}:
+        return (
+            workload_from_wire(obj["workload"], where + ".workload"),
+            _mode_from_wire(obj["mode"], where + ".mode"),
+        )
+    return workload_from_wire(obj, where)
+
+
+def matrix_to_wire(matrix: ExperimentMatrix) -> dict:
+    """The canonical ``"schema": 1`` JSON rendering of one grid."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "workloads": [workload_to_wire(w) for w in matrix.workloads],
+        "modes": [m.value for m in matrix.modes],
+        "configs": [config_to_wire(c) for c in matrix.configs],
+        "guard_bands_k": list(matrix.guard_bands_k),
+        "platform": platform_to_wire(matrix.platform),
+        "warm_start_c": matrix.warm_start_c,
+        "max_duration_s": matrix.max_duration_s,
+        "base_seed": matrix.base_seed,
+        "schedules": [
+            [_schedule_entry_to_wire(entry) for entry in schedule]
+            for schedule in matrix.schedules
+        ],
+        "idle_gap_s": matrix.idle_gap_s,
+    }
+
+
+def matrix_from_wire(obj, where: str = "matrix") -> ExperimentMatrix:
+    """Decode one wire grid; the inverse of :func:`matrix_to_wire`."""
+    payload = _require_mapping(obj, where)
+    _check_schema(payload, where)
+    _reject_unknown(payload, _MATRIX_FIELDS, where)
+
+    def default(name):
+        return payload.get(name, _MATRIX_DEFAULTS[name])
+
+    modes: Tuple[ThermalMode, ...] = _MATRIX_DEFAULTS["modes"]
+    if "modes" in payload:
+        modes = tuple(
+            _mode_from_wire(m, "%s.modes[%d]" % (where, i))
+            for i, m in enumerate(
+                _require_list(payload["modes"], where + ".modes")
+            )
+        )
+    configs: Tuple[Optional[SimulationConfig], ...] = (None,)
+    if "configs" in payload:
+        configs = tuple(
+            config_from_wire(c, "%s.configs[%d]" % (where, i))
+            for i, c in enumerate(
+                _require_list(payload["configs"], where + ".configs")
+            )
+        )
+    return ExperimentMatrix(
+        workloads=tuple(
+            workload_from_wire(w, "%s.workloads[%d]" % (where, i))
+            for i, w in enumerate(
+                _require_list(default("workloads"), where + ".workloads")
+            )
+        ),
+        modes=modes,
+        configs=configs,
+        guard_bands_k=tuple(
+            _require_list(default("guard_bands_k"), where + ".guard_bands_k")
+        ),
+        platform=platform_from_wire(default("platform"), where + ".platform"),
+        warm_start_c=default("warm_start_c"),
+        max_duration_s=default("max_duration_s"),
+        base_seed=default("base_seed"),
+        schedules=tuple(
+            tuple(
+                _schedule_entry_from_wire(
+                    entry, "%s.schedules[%d][%d]" % (where, i, j)
+                )
+                for j, entry in enumerate(
+                    _require_list(
+                        schedule, "%s.schedules[%d]" % (where, i)
+                    )
+                )
+            )
+            for i, schedule in enumerate(
+                _require_list(default("schedules"), where + ".schedules")
+            )
+        ),
+        idle_gap_s=default("idle_gap_s"),
+    )

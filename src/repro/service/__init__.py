@@ -1,0 +1,19 @@
+"""Always-on evaluation service: HTTP wire API over the runner cache.
+
+:class:`EvaluationService` serves warm requests straight from the
+content-addressed :class:`~repro.runner.ResultCache` (zero simulations)
+and routes cold ones through a background :class:`JobQueue` that
+coalesces identical in-flight specs and executes through the existing
+batched runner.  :func:`serve` is the blocking CLI entry point.
+"""
+
+from repro.service.http import EvaluationService, serve
+from repro.service.jobs import Job, JobQueue, ServiceClosed
+
+__all__ = [
+    "EvaluationService",
+    "Job",
+    "JobQueue",
+    "ServiceClosed",
+    "serve",
+]

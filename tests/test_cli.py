@@ -206,3 +206,48 @@ def test_cache_requires_directory(capsys, monkeypatch):
 def test_cache_prune_requires_bound():
     with pytest.raises(SystemExit):
         main(["cache", "prune", "--cache-dir", "/tmp/x"])
+
+
+def test_cache_stats_missing_dir_fails_clearly(capsys, tmp_path):
+    missing = tmp_path / "never-created"
+    assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "no result cache" in err and str(missing) in err
+
+
+def test_cache_stats_empty_dir_fails_clearly(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["cache", "stats", "--cache-dir", str(empty)]) == 2
+    assert "no result cache" in capsys.readouterr().err
+
+
+def test_suite_summarize_missing_dir_fails_clearly(capsys, tmp_path):
+    missing = tmp_path / "never-created"
+    assert main(["suite", "summarize", "--cache-dir", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "no cache directory" in err and str(missing) in err
+
+
+def test_suite_summarize_empty_dir_fails_clearly(capsys, tmp_path):
+    assert main(["suite", "summarize", "--cache-dir", str(tmp_path)]) == 2
+    assert "no readable run entries" in capsys.readouterr().err
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.host == "127.0.0.1"
+    assert args.port == 8765
+    assert args.workers == 2
+    assert args.batch is None
+
+
+def test_serve_parser_accepts_overrides():
+    args = build_parser().parse_args([
+        "serve", "--host", "0.0.0.0", "--port", "9000",
+        "--workers", "4", "--batch", "2", "--cache-dir", "/tmp/c",
+    ])
+    assert (args.host, args.port, args.workers, args.batch) == (
+        "0.0.0.0", 9000, 4, 2
+    )
+    assert args.cache_dir == "/tmp/c"

@@ -1,0 +1,228 @@
+"""The evaluation service: warm path, cold jobs, coalescing, error shapes."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.runner import ParallelRunner, ResultCache
+from repro.runner.spec import RunSpec
+from repro.service import EvaluationService, JobQueue, ServiceClosed
+from repro.sim.engine import ThermalMode
+from repro.workloads import synthesize
+
+
+def _spec(seed=1, name="svc-test"):
+    """A seconds-scale model-free spec (NO_FAN needs no identified models)."""
+    workload = synthesize("medium", duration_s=3.0, threads=2, seed=seed,
+                          name="%s-%d" % (name, seed))
+    return RunSpec(workload=workload, mode=ThermalMode.NO_FAN,
+                   max_duration_s=10.0)
+
+
+@pytest.fixture()
+def service():
+    svc = EvaluationService(cache=ResultCache(root=None), workers=2).start()
+    yield svc
+    svc.shutdown(drain=False)
+
+
+def _post(service, path, payload):
+    data = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        service.url + path, data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _get(service, path):
+    try:
+        with urllib.request.urlopen(service.url + path, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _await_job(service, job_id, timeout_s=60.0):
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        status, body = _get(service, "/v1/jobs/" + job_id)
+        assert status == 200
+        if body["state"] in ("done", "failed"):
+            return body
+        time.sleep(0.05)
+    raise AssertionError("job %s did not finish" % job_id)
+
+
+def test_warm_request_executes_nothing(service, monkeypatch):
+    spec = _spec(seed=10)
+    ParallelRunner(workers=1, cache=service.cache).run([spec])
+
+    # any attempt to simulate from here on is a test failure
+    def _forbidden(*args, **kwargs):
+        raise AssertionError("warm request reached the execution layer")
+
+    monkeypatch.setattr("repro.runner.runner.execute_batch", _forbidden)
+    status, body = _post(service, "/v1/runs", spec.to_dict())
+    assert status == 200
+    assert body["status"] == "done" and body["cached"] is True
+    assert body["summary"]["benchmark"] == spec.workload.name
+    assert service.jobs.executed == 0
+    # and again: the byte-identical body rides the warm-response memo
+    status, body2 = _post(service, "/v1/runs", spec.to_dict())
+    assert status == 200 and body2 == body
+
+
+def test_cold_request_completes_through_job_endpoint(service):
+    spec = _spec(seed=11)
+    status, body = _post(service, "/v1/runs", spec.to_dict())
+    assert status == 202
+    assert body["status"] == "queued" and not body["coalesced"]
+    job = _await_job(service, body["job"])
+    assert job["state"] == "done"
+    assert job["executed"] == 1 and job["completed"] == 1
+    status, summary = _get(service, "/v1/runs/" + body["key"])
+    assert status == 200
+    assert summary["benchmark"] == spec.workload.name
+    assert summary["key"] == body["key"]
+    # the run is warm now
+    status, again = _post(service, "/v1/runs", spec.to_dict())
+    assert status == 200 and again["cached"] is True
+
+
+def test_identical_inflight_requests_coalesce(service, monkeypatch):
+    import repro.runner.runner as runner_mod
+
+    real = runner_mod.execute_batch
+    calls = []
+    gate = threading.Event()
+
+    def slow_execute(specs, *args, **kwargs):
+        calls.append(len(specs))
+        gate.wait(10.0)  # hold the job in flight until every POST landed
+        return real(specs, *args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "execute_batch", slow_execute)
+
+    spec = _spec(seed=12)
+    payload = spec.to_dict()
+    responses = []
+
+    def post():
+        responses.append(_post(service, "/v1/runs", payload))
+
+    threads = [threading.Thread(target=post) for _ in range(5)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    gate.set()
+
+    assert all(status == 202 for status, _ in responses)
+    job_ids = {body["job"] for _, body in responses}
+    assert len(job_ids) == 1, "coalesced requests must share one job"
+    assert sum(body["coalesced"] for _, body in responses) == 4
+    job = _await_job(service, job_ids.pop())
+    assert job["state"] == "done"
+    assert job["waiters"] == 5
+    assert calls == [1], "five identical requests, exactly one execution"
+    assert service.jobs.coalesced == 4
+
+
+def test_malformed_payloads_get_structured_400(service):
+    # not even JSON
+    req = urllib.request.Request(
+        service.url + "/v1/runs", data=b"{nope",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(req, timeout=30)
+    assert err.value.code == 400
+    body = json.loads(err.value.read())
+    assert body["error"]["type"] == "invalid_json"
+
+    # JSON, but not a schema-1 spec
+    for payload, fragment in [
+        ({"workload": "dijkstra", "mode": "dtpm"}, "schema"),
+        ({"schema": 1, "workload": "dijkstra", "mode": "x"}, "mode"),
+        ({"schema": 1, "workload": "dijkstra", "mode": "dtpm",
+          "bogus": 1}, "bogus"),
+    ]:
+        status, body = _post(service, "/v1/runs", payload)
+        assert status == 400
+        assert body["error"]["type"] == "WireError"
+        assert fragment in body["error"]["message"]
+
+
+def test_unknown_key_and_job_are_404(service):
+    status, body = _get(service, "/v1/runs/" + "0" * 64)
+    assert status == 404 and body["error"]["type"] == "unknown_key"
+    status, body = _get(service, "/v1/runs/" + "0" * 64 + "/trace")
+    assert status == 404 and body["error"]["type"] == "unknown_key"
+    status, body = _get(service, "/v1/jobs/job-999999")
+    assert status == 404 and body["error"]["type"] == "unknown_job"
+    # non-hex keys never reach the filesystem
+    status, body = _get(service, "/v1/runs/..%2f..%2fetc")
+    assert status == 404 and body["error"]["type"] == "unknown_path"
+
+
+def test_matrix_endpoint_reports_per_key_status(service):
+    from repro.runner import ExperimentMatrix
+
+    matrix = ExperimentMatrix(
+        workloads=(_spec(seed=13).workload, _spec(seed=14).workload),
+        modes=(ThermalMode.NO_FAN,),
+        max_duration_s=10.0,
+    )
+    status, body = _post(service, "/v1/matrix", matrix.to_dict())
+    assert status == 202
+    assert body["total"] == 2 and body["queued"] == 2
+    assert body["job"] is not None
+    job = _await_job(service, body["job"])
+    assert job["state"] == "done" and job["completed"] == 2
+    status, body = _post(service, "/v1/matrix", matrix.to_dict())
+    assert status == 200
+    assert body["cached"] == 2 and body["job"] is None
+    assert all(r["status"] == "cached" for r in body["runs"])
+
+
+def test_health_and_stats(service):
+    status, body = _get(service, "/healthz")
+    assert status == 200 and body["ok"] is True
+    status, body = _get(service, "/v1/stats")
+    assert status == 200
+    assert body["queue"]["workers"] == 2
+    assert body["cache"]["root"] is None
+
+
+def test_queue_rejects_work_after_close():
+    cache = ResultCache(root=None)
+    queue = JobQueue(cache=cache, workers=1)
+    queue.close(drain=True)
+    spec = _spec(seed=15)
+    with pytest.raises(ServiceClosed):
+        queue.submit([spec], ["0" * 64])
+
+
+def test_graceful_shutdown_drains_queued_jobs():
+    service = EvaluationService(cache=ResultCache(root=None), workers=1)
+    service.start()
+    try:
+        spec = _spec(seed=16)
+        status, body = _post(service, "/v1/runs", spec.to_dict())
+        assert status == 202
+        key = body["key"]
+        service.shutdown(drain=True)
+        assert service.cache.get(key) is not None, (
+            "drain must finish queued work before the service exits"
+        )
+    finally:
+        service.jobs.close(drain=False)

@@ -1,0 +1,165 @@
+"""The versioned wire schema: lossless round trips, key identity, strictness."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, WireError
+from repro.platform.specs import PlatformSpec
+from repro.runner import (
+    ExperimentMatrix,
+    RunSpec,
+    WIRE_SCHEMA,
+    matrix_from_wire,
+    matrix_to_wire,
+    spec_from_wire,
+    spec_key,
+    spec_to_wire,
+    workload_to_wire,
+)
+from repro.sim.engine import ThermalMode
+from repro.workloads import get_benchmark, synthesize
+
+
+def _specs_under_test():
+    custom = synthesize("high", duration_s=4.0, threads=2, seed=11,
+                        name="wire-custom")
+    return [
+        RunSpec(workload=get_benchmark("dijkstra"),
+                mode=ThermalMode.DEFAULT_WITH_FAN),
+        RunSpec(
+            workload=get_benchmark("templerun"),
+            mode=ThermalMode.DTPM,
+            config=SimulationConfig(t_constraint_c=61.0),
+            guard_band_k=1.5,
+            seed=7,
+        ),
+        RunSpec(
+            workload=custom,
+            mode=ThermalMode.NO_FAN,
+            platform=PlatformSpec(),
+            warm_start_c=None,
+            max_duration_s=30.0,
+        ),
+        RunSpec(
+            workload=get_benchmark("patricia"),
+            mode=ThermalMode.REACTIVE,
+            history=(get_benchmark("dijkstra"), custom),
+            history_modes=(ThermalMode.NO_FAN, ThermalMode.REACTIVE),
+            idle_gap_s=5.0,
+        ),
+    ]
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_spec_round_trip_is_lossless(index):
+    spec = _specs_under_test()[index]
+    decoded = spec_from_wire(spec_to_wire(spec))
+    assert decoded == spec
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_spec_round_trip_preserves_content_key(index):
+    """from_dict(to_dict(s)) files under the *identical* cache key."""
+    spec = _specs_under_test()[index]
+    assert spec_key(spec_from_wire(spec_to_wire(spec))) == spec_key(spec)
+
+
+def test_wire_payload_is_plain_json():
+    for spec in _specs_under_test():
+        payload = spec_to_wire(spec)
+        assert payload["schema"] == WIRE_SCHEMA
+        rehydrated = json.loads(json.dumps(payload))
+        assert spec_from_wire(rehydrated) == spec
+
+
+def test_registered_benchmark_compresses_to_name():
+    assert workload_to_wire(get_benchmark("dijkstra")) == "dijkstra"
+    inline = workload_to_wire(
+        synthesize("low", duration_s=3.0, seed=3, name="not-registered")
+    )
+    assert isinstance(inline, dict) and inline["name"] == "not-registered"
+
+
+def test_dataclass_methods_delegate_to_wire():
+    spec = RunSpec(workload=get_benchmark("dijkstra"),
+                   mode=ThermalMode.DTPM)
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+    assert spec.to_dict() == spec_to_wire(spec)
+
+
+def test_minimal_payload_takes_defaults():
+    spec = spec_from_wire(
+        {"schema": 1, "workload": "dijkstra", "mode": "dtpm"}
+    )
+    assert spec == RunSpec(workload=get_benchmark("dijkstra"),
+                           mode=ThermalMode.DTPM)
+
+
+def test_matrix_round_trip_preserves_every_spec_key():
+    custom = synthesize("medium", duration_s=4.0, seed=5, name="wire-m")
+    matrix = ExperimentMatrix(
+        workloads=(get_benchmark("dijkstra"), custom),
+        modes=(ThermalMode.DTPM,),
+        guard_bands_k=(None, 1.0),
+        base_seed=100,
+        schedules=(
+            (get_benchmark("dijkstra"),
+             (get_benchmark("patricia"), ThermalMode.NO_FAN)),
+        ),
+        idle_gap_s=2.0,
+    )
+    decoded = matrix_from_wire(matrix_to_wire(matrix))
+    assert decoded == matrix
+    assert decoded.to_dict() == matrix.to_dict()
+    ours, theirs = matrix.specs(), decoded.specs()
+    assert len(ours) == len(theirs)
+    for a, b in zip(ours, theirs):
+        assert spec_key(a) == spec_key(b)
+    assert ExperimentMatrix.from_dict(matrix.to_dict()) == matrix
+
+
+def test_missing_schema_is_rejected():
+    with pytest.raises(WireError, match="schema"):
+        spec_from_wire({"workload": "dijkstra", "mode": "dtpm"})
+
+
+def test_wrong_schema_version_is_rejected():
+    with pytest.raises(WireError, match="unsupported schema"):
+        spec_from_wire({"schema": 99, "workload": "dijkstra", "mode": "dtpm"})
+
+
+def test_unknown_field_is_rejected_with_its_name():
+    with pytest.raises(WireError, match="bogus"):
+        spec_from_wire(
+            {"schema": 1, "workload": "dijkstra", "mode": "dtpm",
+             "bogus": True}
+        )
+
+
+def test_unknown_mode_names_the_choices():
+    with pytest.raises(WireError, match="with_fan"):
+        spec_from_wire(
+            {"schema": 1, "workload": "dijkstra", "mode": "warp-drive"}
+        )
+
+
+def test_unknown_benchmark_name_is_rejected():
+    with pytest.raises(WireError, match="workload"):
+        spec_from_wire(
+            {"schema": 1, "workload": "no-such-bench", "mode": "dtpm"}
+        )
+
+
+def test_inline_workload_missing_fields_names_the_path():
+    with pytest.raises(WireError, match="workload"):
+        spec_from_wire(
+            {"schema": 1, "workload": {"name": "partial"}, "mode": "dtpm"}
+        )
+
+
+def test_domain_validation_still_applies_after_decode():
+    # an explicitly empty axis is a domain error, not silently defaulted
+    with pytest.raises(ConfigurationError):
+        matrix_from_wire({"schema": 1, "workloads": ["dijkstra"], "modes": []})
