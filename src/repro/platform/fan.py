@@ -16,6 +16,8 @@ import enum
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import celsius_to_kelvin
 
@@ -80,6 +82,40 @@ class Fan:
     def conductance_gain(self) -> float:
         """Multiplier on the case-to-ambient thermal conductance."""
         return self._gain[int(self._speed)]
+
+    # -- batched-kernel views -------------------------------------------
+    # The fused substep kernels (repro.thermal.kernels) run this
+    # controller for many fans at once; these accessors are the single
+    # source of truth for its gain-transition points and lookup tables,
+    # so the vectorised automaton can never drift from Fan.update.
+    def threshold_points_k(self) -> np.ndarray:
+        """The three engage thresholds in Kelvin, lowest first.
+
+        Crossing ``threshold_points_k()[i]`` upward engages speed
+        ``i + 1``; falling ``hysteresis_k`` below the threshold that
+        engaged the current speed steps one speed back down.
+        """
+        th = self.thresholds
+        return np.array(
+            [
+                celsius_to_kelvin(th.on_c),
+                celsius_to_kelvin(th.mid_c),
+                celsius_to_kelvin(th.high_c),
+            ]
+        )
+
+    @property
+    def hysteresis_k(self) -> float:
+        """Step-down hysteresis in Kelvin (a delta, so == Celsius)."""
+        return self.thresholds.hysteresis_c
+
+    def conductance_gain_table(self) -> np.ndarray:
+        """Per-speed conductance multipliers, indexed by ``FanSpeed``."""
+        return np.asarray(self._gain, dtype=float)
+
+    def power_table_w(self) -> np.ndarray:
+        """Per-speed electrical draw (W), indexed by ``FanSpeed``."""
+        return np.asarray(self._power_w, dtype=float)
 
     def update(self, max_core_temp_k: float) -> FanSpeed:
         """Run one step of the threshold controller.

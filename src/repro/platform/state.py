@@ -14,9 +14,18 @@ run per substep.  This module gives the plant a batch axis:
   object access keep working unchanged.
 * :class:`BatchPlant` advances a :class:`PlantState` through the thermal
   substeps of one control interval: batched power evaluation
-  (:class:`~repro.power.batch.BatchPowerModel`), batched RC integration
-  (:meth:`~repro.thermal.rc_network.ThermalRCNetwork.step_batch`), a
-  vectorised fan threshold controller and vectorised meter accounting.
+  (:class:`~repro.power.batch.BatchPowerModel`), fused RC integration
+  (:mod:`repro.thermal.kernels`), a vectorised fan threshold controller
+  and vectorised meter accounting.
+
+Control intervals hold the ground-truth node power for their whole
+duration (zero-order hold, evaluated once at the interval-entry
+temperatures).  That makes the K-substep RC chain linear in the state,
+so the fused kernels integrate a whole interval in one propagator pass
+and only lanes whose fan speed or quantised cooling factor actually
+changes mid-interval fall back to per-substep stepping.  The idle-gap
+cooldown path (``power_every=1``) keeps the historical per-substep power
+re-evaluation, bit-identical to looped :meth:`OdroidBoard.step` calls.
 
 Every kernel is elementwise over the batch axis (reductions only run over
 fixed-size axes such as the four cores), and per-lane RNG streams are
@@ -38,8 +47,7 @@ from repro.platform.cluster import ClusterPower
 from repro.platform.soc import SocPowerState
 from repro.platform.specs import POWER_RESOURCES
 from repro.power.batch import BatchPowerModel
-from repro.thermal import floorplan
-from repro.units import celsius_to_kelvin
+from repro.thermal import floorplan, kernels
 
 
 @dataclass
@@ -187,26 +195,15 @@ class BatchPlant:
         self.spec = first.spec
         self.power = BatchPowerModel(self.spec)
 
-        self._hot_idx = np.array(
-            [self.network.index(n) for n in floorplan.BIG_CORE_NODES]
-        )
+        self._hot_idx = floorplan.hot_indices(self.network)
         self._little_idx = self.network.index(floorplan.LITTLE_NODE)
         self._gpu_idx = self.network.index(floorplan.GPU_NODE)
         self._mem_idx = self.network.index(floorplan.MEM_NODE)
 
-        th = first.fan.thresholds
-        self._fan_up_k = np.array(
-            [
-                celsius_to_kelvin(th.on_c),
-                celsius_to_kelvin(th.mid_c),
-                celsius_to_kelvin(th.high_c),
-            ]
-        )
-        self._fan_hyst_k = th.hysteresis_c
-        self._fan_power_w = np.asarray(self.spec.fan_power_w, dtype=float)
-        self._fan_gain = np.asarray(
-            self.spec.fan_conductance_gain, dtype=float
-        )
+        self._fan_up_k = first.fan.threshold_points_k()
+        self._fan_hyst_k = first.fan.hysteresis_k
+        self._fan_power_w = first.fan.power_table_w()
+        self._fan_gain = first.fan.conductance_gain_table()
         self._static_w = self.spec.platform_static_power_w
 
     # ------------------------------------------------------------------
@@ -229,17 +226,36 @@ class BatchPlant:
         gpu_activity: np.ndarray,
         dt_s: float,
         substeps: int,
+        power_every: Optional[int] = None,
     ) -> None:
         """Advance every lane of ``state`` by one control interval.
 
-        Mirrors ``substeps`` consecutive calls to
-        :meth:`OdroidBoard.step` per lane: power is evaluated at the
-        pre-step temperatures, the RC network integrates, the fan
-        controller reacts to the new hotspots, and the platform meter
-        samples with the *new* fan's draw.  Meter noise is pre-drawn per
-        lane (one array draw consumes the stream exactly like the serial
-        per-substep scalar draws).
+        ``power_every`` controls how often the ground-truth power is
+        re-evaluated along the ``substeps`` thermal substeps:
+
+        ``None`` (default)
+            Zero-order hold: power is evaluated once at the
+            interval-entry temperatures and held, which lets the whole
+            interval integrate through the fused propagator kernels of
+            :mod:`repro.thermal.kernels`.  This is the engine's control
+            interval semantics.
+        ``1``
+            Re-evaluate at every substep -- ``substeps`` consecutive
+            :meth:`OdroidBoard.step` calls, bit-for-bit (the scenario
+            idle-gap cooldown contract).
+
+        Either way the fan controller reacts to every substep's new
+        hotspots and the platform meter samples every substep with the
+        *new* fan's draw.  Meter noise is pre-drawn per lane (one array
+        draw consumes the stream exactly like the serial per-substep
+        scalar draws).
         """
+        if power_every is None:
+            power_every = substeps
+        if power_every not in (1, substeps):
+            raise ConfigurationError(
+                "power_every must be 1 or the substep count"
+            )
         batch = state.batch
         noise = np.zeros((batch, substeps))
         for i, lane in enumerate(lanes):
@@ -264,28 +280,122 @@ class BatchPlant:
             gpu_activity,
         )
 
-        temps = state.temps_k
-        node_p = np.zeros((batch, self.network.num_nodes))
-        for k in range(substeps):
-            t_big = np.mean(temps[:, self._hot_idx], axis=1)
-            ps = self.power.evaluate(
-                inputs,
-                t_big,
-                temps[:, self._little_idx],
-                temps[:, self._gpu_idx],
-                temps[:, self._mem_idx],
-            )
-            node_p[:, self._hot_idx] = ps.big_core_powers_w
-            node_p[:, self._little_idx] = ps.powers_w[:, 1]
-            node_p[:, self._gpu_idx] = ps.powers_w[:, 2]
-            node_p[:, self._mem_idx] = ps.powers_w[:, 3]
+        if power_every == substeps:
+            self._advance_fused(state, inputs, noise, dt_s, substeps)
+        else:
+            self._advance_substep_power(state, inputs, noise, dt_s, substeps)
 
+    # ------------------------------------------------------------------
+    def _evaluate_power(self, inputs, temps: np.ndarray):
+        """Ground-truth power breakdown + node heat vector at ``temps``."""
+        batch = temps.shape[0]
+        t_big = np.mean(temps[:, self._hot_idx], axis=1)
+        ps = self.power.evaluate(
+            inputs,
+            t_big,
+            temps[:, self._little_idx],
+            temps[:, self._gpu_idx],
+            temps[:, self._mem_idx],
+        )
+        node_p = np.zeros((batch, self.network.num_nodes))
+        node_p[:, self._hot_idx] = ps.big_core_powers_w
+        node_p[:, self._little_idx] = ps.powers_w[:, 1]
+        node_p[:, self._gpu_idx] = ps.powers_w[:, 2]
+        node_p[:, self._mem_idx] = ps.powers_w[:, 3]
+        return ps, node_p
+
+    def _store_power(self, state: PlantState, ps) -> None:
+        """Publish the interval's power breakdown to the SoA state."""
+        state.powers_w = ps.powers_w
+        state.big_core_powers_w = ps.big_core_powers_w
+        state.soc_total_w = ps.soc_total_w
+        state.dynamic_w = ps.dynamic_w
+        state.leakage_w = ps.leakage_w
+
+    def _advance_fused(
+        self,
+        state: PlantState,
+        inputs,
+        noise: np.ndarray,
+        dt_s: float,
+        substeps: int,
+    ) -> None:
+        """One control interval under zero-order-hold power.
+
+        Power is evaluated once at the entry temperatures; the K-substep
+        RC chain then runs through the fused propagator kernel (with
+        per-substep fallback for lanes whose fan or quantised cooling
+        factor transitions mid-interval -- see
+        :func:`repro.thermal.kernels.advance_held_interval`).  Meter
+        accounting prices every substep at that substep's post-update
+        fan speed, vectorised over the whole ``(B, K)`` reading matrix.
+        """
+        batch = state.batch
+        ps, node_p = self._evaluate_power(inputs, state.temps_k)
+        u = np.concatenate(
+            [node_p, np.full((batch, 1), self.network.ambient_k)], axis=1
+        )
+        temps, speeds = kernels.advance_held_interval(
+            self.network,
+            state.temps_k,
+            state.cooling_gain,
+            state.fan_speed,
+            state.fan_enabled,
+            u,
+            dt_s,
+            substeps,
+            self._fan_up_k,
+            self._fan_hyst_k,
+            self._fan_gain,
+            self._hot_idx,
+        )
+        state.temps_k = temps
+        state.fan_speed = speeds[:, -1]
+        state.cooling_gain = self._fan_gain[state.fan_speed]
+
+        true_platform = (
+            ps.soc_total_w[:, np.newaxis]
+            + self._fan_power_w[speeds]
+            + self._static_w
+        )
+        readings = np.maximum(0.0, true_platform * (1.0 + noise))
+        # einsum's reduction over the substep axis is sequential per
+        # lane, so the accumulated energy is lane-independent
+        state.energy_j = state.energy_j + np.einsum("bk->b", readings) * dt_s
+        state.meter_elapsed_s = state.meter_elapsed_s + dt_s * substeps
+        state.last_reading_w = readings[:, -1]
+        state.time_s = state.time_s + dt_s * substeps
+        self._store_power(state, ps)
+
+    def _advance_substep_power(
+        self,
+        state: PlantState,
+        inputs,
+        noise: np.ndarray,
+        dt_s: float,
+        substeps: int,
+    ) -> None:
+        """Per-substep power re-evaluation (``power_every=1``).
+
+        The historical interval semantics, kept bit-identical to looped
+        :meth:`OdroidBoard.step` calls -- the scenario idle-gap cooldown
+        and its serial per-board transcription test rest on this path.
+        """
+        temps = state.temps_k
+        for k in range(substeps):
+            ps, node_p = self._evaluate_power(inputs, temps)
             temps = self.network.step_batch(
                 temps, node_p, dt_s, state.cooling_gain
             )
 
             max_hot = np.max(temps[:, self._hot_idx], axis=1)
-            state.fan_speed = self._update_fans(state, max_hot)
+            state.fan_speed = kernels.fan_step(
+                state.fan_speed,
+                state.fan_enabled,
+                max_hot,
+                self._fan_up_k,
+                self._fan_hyst_k,
+            )
             state.cooling_gain = self._fan_gain[state.fan_speed]
 
             true_platform = (
@@ -300,40 +410,8 @@ class BatchPlant:
             state.time_s = state.time_s + dt_s
 
         state.temps_k = temps
-        state.powers_w = ps.powers_w
-        state.big_core_powers_w = ps.big_core_powers_w
-        state.soc_total_w = ps.soc_total_w
-        state.dynamic_w = ps.dynamic_w
-        state.leakage_w = ps.leakage_w
+        self._store_power(state, ps)
 
     def hotspots_k(self, state: PlantState) -> np.ndarray:
         """True hotspot (big core) temperatures of every lane, ``(B, 4)``."""
         return state.temps_k[:, self._hot_idx]
-
-    # ------------------------------------------------------------------
-    def _update_fans(
-        self, state: PlantState, max_hot_k: np.ndarray
-    ) -> np.ndarray:
-        """One vectorised step of the hysteretic fan threshold controller.
-
-        Elementwise transcription of :meth:`repro.platform.fan.Fan.update`:
-        speed jumps straight up to the highest crossed threshold, steps
-        down one level at a time once the temperature falls the hysteresis
-        below the engaging threshold, and a disabled fan pins to OFF.
-        """
-        speed = state.fan_speed
-        up = self._fan_up_k
-        target = (
-            (max_hot_k > up[0]).astype(np.int64)
-            + (max_hot_k > up[1])
-            + (max_hot_k > up[2])
-        )
-        rising = target > speed
-        engage = up[np.clip(speed - 1, 0, 2)]
-        falling = (
-            ~rising
-            & (target < speed)
-            & (max_hot_k < engage - self._fan_hyst_k)
-        )
-        new = np.where(rising, target, np.where(falling, speed - 1, speed))
-        return np.where(state.fan_enabled, new, 0)

@@ -39,11 +39,28 @@ class LeakageModel:
         """Build the run-time model from a furnace fit result."""
         return cls(c1=fit.c1, c2=fit.c2, i_gate=fit.i_gate)
 
+    def nonlinear_factor(self, temperature_k):
+        """The temperature-nonlinear part of Eq. 4.2, ``T^2 * exp(c2/T)``.
+
+        Elementwise over arrays of any shape: one temperature per batch
+        lane, or a whole ``(K, B)`` substep-chain trajectory in a single
+        vectorised pass -- each element's value is independent of the
+        array shape it rides in, so chained and per-substep evaluation
+        agree bit-for-bit.
+        """
+        t = np.asarray(temperature_k, dtype=float)
+        if np.any(t <= 0):
+            raise ModelError("temperature must be positive Kelvin")
+        return t ** 2 * np.exp(self.c2 / t)
+
     def current_a(self, temperature_k):
         """Leakage current (A) at ``temperature_k`` (scalar or array).
 
         Array inputs evaluate elementwise -- one temperature per batch
-        lane -- and return an array; scalars keep returning floats.
+        lane, or an entire substep chain at once -- and return an array;
+        scalars keep returning floats.  The operand order matches the
+        fitted-form expression exactly (``(c1 * T^2) * exp + i_gate``) so
+        historical pinned values survive the vectorisation.
         """
         t = np.asarray(temperature_k, dtype=float)
         if np.any(t <= 0):

@@ -39,7 +39,12 @@ from repro.workloads.trace import WorkloadTrace
 #: in a way the spec itself cannot express (trace columns, engine fixes).
 #: 2: the plant went batch-vectorised (einsum/ufunc evaluation replaced
 #: per-run BLAS/scalar calls), which moves results by ~1 ulp.
-CACHE_FORMAT = 2
+#: 3: control intervals hold ground-truth power for their whole duration
+#: (zero-order hold at the interval-entry temperatures) so the fused
+#: substep kernels can integrate a whole interval per propagator pass;
+#: per-substep power re-evaluation survives only on the scenario
+#: idle-cooldown path.
+CACHE_FORMAT = 3
 
 
 def _canonical(obj):

@@ -16,6 +16,8 @@ results and freshly simulated ones share one aggregation code path.
 from __future__ import annotations
 
 import math
+import queue
+import threading
 from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -239,6 +241,82 @@ class StreamingPower(TraceConsumer):
 
     def mean_w(self, rail: str = "platform_power_w") -> float:
         return self.rails[rail].mean
+
+
+class AsyncConsumerPump(TraceConsumer):
+    """Drain downstream consumers on a worker thread.
+
+    Wrap slow streaming observers (live plots, sockets, disk appenders)
+    in a pump so they never stall the fused control loop: the engine's
+    hooks enqueue onto a bounded queue and return immediately, a single
+    daemon worker drains it in publish order.  Because the engine reuses
+    its per-interval mapping, each interval is snapshotted into a fresh
+    ``dict`` before crossing threads -- the downstream consumers keep the
+    usual contract (read-only view, valid for the duration of the call).
+
+    ``on_run_end`` joins the queue before forwarding, so by the time the
+    engine's publish loop returns, the wrapped consumers have observed
+    every interval: streaming aggregates equal a post-hoc :func:`replay`
+    of the same run (the flush-on-finish contract,
+    ``tests/test_consumers.py``).  A crashed downstream consumer parks
+    the error and re-raises it on the publishing thread at the next
+    hook, so failures surface in the run that caused them instead of
+    dying silently on the worker.
+
+    The pump is reusable across sequential runs but not concurrent ones
+    (one queue, one ordering), matching how the engine publishes.
+    """
+
+    def __init__(
+        self, consumers: Iterable[TraceConsumer], maxsize: int = 1024
+    ) -> None:
+        if maxsize <= 0:
+            raise SimulationError("queue bound must be positive")
+        self.consumers = list(consumers)
+        self._queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
+        self._error: Optional[BaseException] = None
+        self._worker = threading.Thread(
+            target=self._drain, name="consumer-pump", daemon=True
+        )
+        self._worker.start()
+
+    # -- worker side ----------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            hook, args = self._queue.get()
+            try:
+                if self._error is None:
+                    for consumer in self.consumers:
+                        getattr(consumer, hook)(*args)
+            except BaseException as exc:  # noqa: BLE001 - parked for the caller
+                self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _publish(self, hook: str, *args) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+        self._queue.put((hook, args))
+
+    # -- engine side ----------------------------------------------------
+    def on_run_start(self, benchmark, mode, columns) -> None:
+        self._publish("on_run_start", benchmark, mode, tuple(columns))
+
+    def on_interval(self, values: Mapping[str, float]) -> None:
+        # snapshot: the engine reuses the mapping it publishes
+        self._publish("on_interval", dict(values))
+
+    def on_run_end(self, result: RunResult) -> None:
+        self._publish("on_run_end", result)
+        self.flush()
+
+    def flush(self) -> None:
+        """Block until every queued interval has been consumed."""
+        self._queue.join()
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
 
 
 def replay(result: RunResult, consumers: Iterable[TraceConsumer]) -> None:

@@ -275,8 +275,13 @@ class BatchScenarioRunner:
             big = np.tile(np.asarray(IDLE_BIG_UTILS), (len(idx), 1))
             little = np.zeros((len(idx), len(IDLE_BIG_UTILS)))
             ones = np.ones(len(idx))
+            # power_every=1 keeps the historical per-substep power
+            # re-evaluation: the cooldown is pinned bit-identical to a
+            # serial per-board ``step`` loop, not to the engine's
+            # zero-order-hold control intervals.
             plant.advance_interval(
-                state, idx, big, little, ones, ones, IDLE_STEP_S, chunk
+                state, idx, big, little, ones, ones, IDLE_STEP_S, chunk,
+                power_every=1,
             )
             plant.scatter(state, idx)
             for k in active:

@@ -152,6 +152,15 @@ def node_powers(
     return vec
 
 
+def hot_indices(network: ThermalRCNetwork) -> np.ndarray:
+    """Node indices of the four sensed hotspot (big-core) nodes.
+
+    The fan threshold controller and the fused substep kernels reduce
+    over these to get each lane's maximum core temperature.
+    """
+    return np.array([network.index(n) for n in BIG_CORE_NODES])
+
+
 def hotspot_temperatures_k(network: ThermalRCNetwork) -> np.ndarray:
     """True temperatures (K) of the four sensed hotspot nodes."""
     temps = network.temperatures_k

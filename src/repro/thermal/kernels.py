@@ -1,0 +1,347 @@
+"""Fused exponential-integrator substep kernels for the batched plant.
+
+The batched plant advances every control interval through ``K`` thermal
+substeps (Eq. 4.3 of the paper, discretised exactly per substep).  Since
+the node power injected into the RC network is held over the whole
+interval (zero-order hold, see :mod:`repro.platform.state`), the only
+quantities that can change *within* an interval are the fan speed and
+the quantised nonlinear cooling factor -- and in the common case neither
+does.  This module exploits that:
+
+* :func:`advance_held_interval` first runs the **fused chain**: one
+  stacked-propagator pass that applies the per-lane ``(Ad, Bd)`` pair
+  ``K`` times with the interval-entry effective gains, recording the
+  whole substep trajectory.  A vectorised validation pass then replays
+  the fan threshold automaton and the nonlinear-factor quantisation over
+  the trajectory *without stepping Python per substep*; lanes whose fan
+  speed or leakage-coupled cooling gain would have changed mid-interval
+  ("dirty" lanes) are re-integrated through the per-substep fallback
+  from their entry state.  Clean lanes keep the fused result, which is
+  byte-identical to what the fallback would have produced (the chain
+  applies exactly the same gathered-stack ``einsum`` per substep, with
+  ``Bd @ u`` hoisted -- the same operation on the same operands).
+* The **per-substep fallback** (:func:`substep_loop`) interleaves gain
+  regrouping and the fan automaton with every substep -- the reference
+  semantics, and the only path dirty lanes take.
+* An optional **numba backend** JIT-compiles the chain.  It is selected
+  with ``REPRO_KERNEL=numba`` and requires the ``jit`` extra
+  (``pip install repro-dtpm[jit]``); results agree with the NumPy chain
+  to within a documented tolerance (~1 ulp -- the JIT accumulates the
+  node-axis dot products in the same order, but is free to fuse
+  multiply-adds), so it is opt-in and never the default: the pure-NumPy
+  path defines the pinned bit-exact results.
+
+Backend selection (``REPRO_KERNEL`` environment variable):
+
+``numpy`` (default)
+    Fused chain + validation + fallback, pure NumPy.
+``numpy-substep``
+    Per-substep fallback for every lane.  Reference implementation --
+    byte-identical to ``numpy`` by the contract above, and the baseline
+    the parity tests and kernel benchmarks compare against.
+``numba``
+    Fused chain JIT-compiled with numba (optional extra).
+
+Every kernel is elementwise over the batch axis and per-lane path
+selection depends only on that lane's own trajectory, so lane ``b`` of a
+batch computes exactly what a batch of one would -- the batch/serial
+byte-identity contract of ``tests/test_batch_sim.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.rc_network import ThermalRCNetwork
+
+#: Environment variable selecting the substep kernel backend.
+ENV_VAR = "REPRO_KERNEL"
+
+#: Recognised ``REPRO_KERNEL`` values.
+BACKENDS = ("numpy", "numpy-substep", "numba")
+
+try:  # pragma: no cover - exercised only on the numba CI leg
+    import numba as _numba
+except ImportError:  # numba is an optional extra (pip install repro-dtpm[jit])
+    _numba = None
+
+#: Whether the optional numba JIT backend is importable.
+HAVE_NUMBA = _numba is not None
+
+_numba_chain = None
+
+
+def active_backend() -> str:
+    """Resolve the substep kernel backend from ``REPRO_KERNEL``.
+
+    Raises a :class:`~repro.errors.ConfigurationError` for unknown names
+    and when ``numba`` is requested but not installed, so a mis-set
+    environment fails loudly at run start instead of silently falling
+    back to a different numeric path.
+    """
+    name = os.environ.get(ENV_VAR, "").strip() or "numpy"
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            "unknown %s=%r (expected one of %s)"
+            % (ENV_VAR, name, "|".join(BACKENDS))
+        )
+    if name == "numba" and not HAVE_NUMBA:
+        raise ConfigurationError(
+            "%s=numba but numba is not installed; "
+            "pip install repro-dtpm[jit]" % ENV_VAR
+        )
+    return name
+
+
+# ---------------------------------------------------------------------------
+# fan threshold automaton (vectorised over lanes)
+# ---------------------------------------------------------------------------
+def fan_step(
+    speed: np.ndarray,
+    enabled: np.ndarray,
+    max_hot_k: np.ndarray,
+    up_k: np.ndarray,
+    hyst_k: float,
+) -> np.ndarray:
+    """One vectorised step of the hysteretic fan threshold controller.
+
+    Elementwise transcription of :meth:`repro.platform.fan.Fan.update`:
+    speed jumps straight up to the highest crossed threshold, steps down
+    one level at a time once the temperature falls the hysteresis below
+    the engaging threshold, and a disabled fan pins to OFF.
+    """
+    target = (
+        (max_hot_k > up_k[0]).astype(np.int64)
+        + (max_hot_k > up_k[1])
+        + (max_hot_k > up_k[2])
+    )
+    rising = target > speed
+    engage = up_k[np.clip(speed - 1, 0, 2)]
+    falling = ~rising & (target < speed) & (max_hot_k < engage - hyst_k)
+    new = np.where(rising, target, np.where(falling, speed - 1, speed))
+    return np.where(enabled, new, 0)
+
+
+# ---------------------------------------------------------------------------
+# fused chain
+# ---------------------------------------------------------------------------
+def fused_chain(
+    ad: np.ndarray, bu: np.ndarray, temps_k: np.ndarray, substeps: int
+) -> np.ndarray:
+    """Apply the per-lane one-step propagator ``K`` times, keeping the
+    trajectory.
+
+    ``traj[k]`` holds the temperatures *after* substep ``k``; the loop
+    body is the exact gathered-stack ``einsum`` of
+    :meth:`~repro.thermal.rc_network.ThermalRCNetwork.step_batch` with
+    the (constant) input contribution ``bu = Bd @ u`` hoisted, so a lane
+    whose gains really stay constant gets bit-identical temperatures to
+    per-substep stepping.
+    """
+    traj = np.empty((substeps,) + temps_k.shape)
+    t = temps_k
+    for k in range(substeps):
+        t = np.einsum("bij,bj->bi", ad, t) + bu
+        traj[k] = t
+    return traj
+
+
+def _numba_fused_chain():  # pragma: no cover - exercised on the numba CI leg
+    """Lazily compile (and memoise) the numba version of the chain."""
+    global _numba_chain
+    if _numba_chain is None:
+
+        @_numba.njit(cache=True, fastmath=False)
+        def chain(ad, bu, temps_k, substeps):
+            batch, n = temps_k.shape
+            traj = np.empty((substeps, batch, n))
+            t = temps_k.copy()
+            for k in range(substeps):
+                for b in range(batch):
+                    for i in range(n):
+                        acc = 0.0
+                        for j in range(n):
+                            acc += ad[b, i, j] * t[b, j]
+                        traj[k, b, i] = acc + bu[b, i]
+                t = traj[k]
+            return traj
+
+        _numba_chain = chain
+    return _numba_chain
+
+
+# ---------------------------------------------------------------------------
+# trajectory validation
+# ---------------------------------------------------------------------------
+def dirty_lanes(
+    network: ThermalRCNetwork,
+    traj: np.ndarray,
+    nl_entry: np.ndarray,
+    cooling_gain: np.ndarray,
+    fan_speed: np.ndarray,
+    fan_enabled: np.ndarray,
+    up_k: np.ndarray,
+    hyst_k: float,
+    fan_gains: np.ndarray,
+    hot_idx: np.ndarray,
+) -> np.ndarray:
+    """Which lanes' fused trajectories are invalid (``(B,)`` bool).
+
+    A lane is dirty when per-substep stepping would have diverged from
+    the constant-gain assumption the chain integrated under:
+
+    * its entry cooling gain differs from the fan table entry for its
+      speed (an externally forced gain -- the very first interval after a
+      warm start can hit this when the table's OFF gain is not 1.0);
+    * the quantised nonlinear cooling factor changes at any intermediate
+      pre-step point of the trajectory; or
+    * the fan threshold automaton would change speed at any of the ``K``
+      post-substep updates (evaluated against the entry speed, which is
+      exact: while no transition has fired, the automaton's state *is*
+      the entry speed, and the first firing marks the lane dirty).
+
+    Everything is elementwise over lanes; the substep axis only ever
+    reduces via ``any``.
+    """
+    substeps, batch, n = traj.shape
+    dirty = cooling_gain != fan_gains[fan_speed]
+    if substeps > 1:
+        nl = network.nonlinear_factors(
+            traj[:-1].reshape((substeps - 1) * batch, n)
+        ).reshape(substeps - 1, batch)
+        dirty |= np.any(nl != nl_entry, axis=0)
+    max_hot = np.max(traj[:, :, hot_idx], axis=2)  # (K, B)
+    target = (
+        (max_hot > up_k[0]).astype(np.int64)
+        + (max_hot > up_k[1])
+        + (max_hot > up_k[2])
+    )
+    any_up = np.any(target > fan_speed, axis=0)
+    engage = up_k[np.clip(fan_speed - 1, 0, 2)]
+    any_down = np.any(
+        (target < fan_speed) & (max_hot < engage - hyst_k), axis=0
+    )
+    dirty |= np.where(fan_enabled, any_up | any_down, fan_speed != 0)
+    return dirty
+
+
+# ---------------------------------------------------------------------------
+# per-substep fallback (reference semantics)
+# ---------------------------------------------------------------------------
+def substep_loop(
+    network: ThermalRCNetwork,
+    temps_k: np.ndarray,
+    cooling_gain: np.ndarray,
+    fan_speed: np.ndarray,
+    fan_enabled: np.ndarray,
+    u: np.ndarray,
+    dt_s: float,
+    substeps: int,
+    up_k: np.ndarray,
+    hyst_k: float,
+    fan_gains: np.ndarray,
+    hot_idx: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance lanes substep-by-substep under held node power.
+
+    The reference interval semantics: every substep regroups the lanes
+    by effective gain (fan gain x quantised nonlinear factor), advances
+    the RC network one step, and runs the fan automaton on the new
+    hotspots.  Returns the final temperatures ``(B, N)`` and the
+    post-update fan speed after every substep ``(B, K)``.
+    """
+    batch = temps_k.shape[0]
+    speeds = np.empty((batch, substeps), dtype=np.int64)
+    gain = cooling_gain
+    speed = fan_speed
+    t = temps_k
+    for k in range(substeps):
+        gains = gain * network.nonlinear_factors(t)
+        ad, bd = network.discretise_stack(dt_s, gains)
+        t = np.einsum("bij,bj->bi", ad, t) + np.einsum("bij,bj->bi", bd, u)
+        max_hot = np.max(t[:, hot_idx], axis=1)
+        speed = fan_step(speed, fan_enabled, max_hot, up_k, hyst_k)
+        speeds[:, k] = speed
+        gain = fan_gains[speed]
+    return t, speeds
+
+
+# ---------------------------------------------------------------------------
+# the fused interval kernel
+# ---------------------------------------------------------------------------
+def advance_held_interval(
+    network: ThermalRCNetwork,
+    temps_k: np.ndarray,
+    cooling_gain: np.ndarray,
+    fan_speed: np.ndarray,
+    fan_enabled: np.ndarray,
+    u: np.ndarray,
+    dt_s: float,
+    substeps: int,
+    up_k: np.ndarray,
+    hyst_k: float,
+    fan_gains: np.ndarray,
+    hot_idx: np.ndarray,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance ``B`` lanes through the ``K`` substeps of one interval.
+
+    ``u`` is the ``(B, N+1)`` held input (node powers + ambient) of the
+    whole interval.  Returns ``(final_temps (B, N), speeds (B, K))``
+    where ``speeds[:, k]`` is each lane's fan speed after substep ``k``'s
+    controller update (the meter prices substep ``k`` at that speed).
+
+    The fast path integrates every lane with its interval-entry
+    effective gain in one chained propagator pass, then validates the
+    trajectory (see :func:`dirty_lanes`); only lanes that would actually
+    have switched fan speed or crossed a nonlinear-factor quantisation
+    boundary re-run through :func:`substep_loop`.  Both paths execute
+    the same operations on the same operands for a clean lane, so which
+    path a lane takes is unobservable in the results.
+    """
+    backend = backend or active_backend()
+    if backend == "numpy-substep":
+        return substep_loop(
+            network, temps_k, cooling_gain, fan_speed, fan_enabled,
+            u, dt_s, substeps, up_k, hyst_k, fan_gains, hot_idx,
+        )
+
+    nl_entry = network.nonlinear_factors(temps_k)
+    gains = cooling_gain * nl_entry
+    ad, bd = network.discretise_stack(dt_s, gains)
+    bu = np.einsum("bij,bj->bi", bd, u)
+
+    if backend == "numba":  # pragma: no cover - exercised on the numba leg
+        traj = _numba_fused_chain()(ad, bu, temps_k, substeps)
+    else:
+        traj = fused_chain(ad, bu, temps_k, substeps)
+
+    dirty = dirty_lanes(
+        network, traj, nl_entry, cooling_gain, fan_speed, fan_enabled,
+        up_k, hyst_k, fan_gains, hot_idx,
+    )
+
+    final = traj[-1]
+    speeds = np.repeat(fan_speed[:, np.newaxis], substeps, axis=1)
+    if np.any(dirty):
+        d_final, d_speeds = substep_loop(
+            network,
+            temps_k[dirty],
+            cooling_gain[dirty],
+            fan_speed[dirty],
+            fan_enabled[dirty],
+            u[dirty],
+            dt_s,
+            substeps,
+            up_k,
+            hyst_k,
+            fan_gains,
+            hot_idx,
+        )
+        final[dirty] = d_final
+        speeds[dirty] = d_speeds
+    return final, speeds

@@ -13,6 +13,7 @@ simulation is unconditionally stable regardless of node time constants.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
@@ -20,6 +21,14 @@ import numpy as np
 from scipy.linalg import expm
 
 from repro.errors import ConfigurationError, SimulationError
+
+#: Capacity of the per-network ``(dt, gain) -> (Ad, Bd)`` discretisation
+#: cache.  Temperature-dependent ``nonlinear_factors`` quantise to a 0.05
+#: grid, but long runs sweeping many fan states and operating points can
+#: still touch an unbounded key set, so the cache evicts least-recently
+#: used entries beyond this bound (an ``expm`` recompute on a miss is
+#: cheap relative to unbounded memory growth).
+DISC_CACHE_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -108,8 +117,9 @@ class ThermalRCNetwork:
         if nonlinear_cooling_coeff < 0:
             raise ConfigurationError("nonlinear cooling coeff must be >= 0")
         self.nonlinear_cooling_coeff = nonlinear_cooling_coeff
-        # (dt, effective_gain) -> (Ad, Bd) discretisation cache
-        self._disc_cache: Dict[Tuple[float, float], Tuple[np.ndarray, np.ndarray]] = {}
+        # (dt, effective_gain) -> (Ad, Bd) discretisation LRU cache,
+        # bounded at DISC_CACHE_SIZE entries (see discretise)
+        self._disc_cache: "OrderedDict[Tuple[float, float], Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # accessors
@@ -207,10 +217,16 @@ class ThermalRCNetwork:
         return self._g_coupling + np.diag(g_amb), g_amb
 
     def _discretise(self, dt_s: float, gain: float) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact ZOH discretisation of the network for step ``dt_s``."""
+        """Exact ZOH discretisation of the network for step ``dt_s``.
+
+        Results are memoised in a small LRU (``DISC_CACHE_SIZE`` entries):
+        the quantised effective gains of a steady run touch a handful of
+        keys, while long varying-gain sweeps stay memory-bounded.
+        """
         key = (round(dt_s, 9), round(gain, 9))
         cached = self._disc_cache.get(key)
         if cached is not None:
+            self._disc_cache.move_to_end(key)
             return cached
 
         g_full, g_amb = self._effective_g(gain)
@@ -229,7 +245,31 @@ class ThermalRCNetwork:
         ad = phi[:n, :n]
         bd = phi[:n, n:]
         self._disc_cache[key] = (ad, bd)
+        if len(self._disc_cache) > DISC_CACHE_SIZE:
+            self._disc_cache.popitem(last=False)
         return ad, bd
+
+    def discretise_stack(
+        self, dt_s: float, gains: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-lane stacked ``(Ad, Bd)`` for a ``(B,)`` effective-gain vector.
+
+        Lanes sharing a gain share one cached discretisation; the result
+        gathers the unique matrices back to per-lane ``(B, N, N)`` /
+        ``(B, N, N+1)`` stacks so a whole batch advances in one
+        ``einsum`` regardless of how many distinct gains it spans.  The
+        gather is a view-free fancy index, so mutating the result never
+        corrupts the cache.
+        """
+        if dt_s <= 0:
+            raise SimulationError("dt must be positive")
+        n = self.num_nodes
+        uniq, inv = np.unique(np.asarray(gains, dtype=float), return_inverse=True)
+        ads = np.empty((uniq.shape[0], n, n))
+        bds = np.empty((uniq.shape[0], n, n + 1))
+        for g_i, gain in enumerate(uniq):
+            ads[g_i], bds[g_i] = self._discretise(dt_s, float(gain))
+        return ads[inv.reshape(-1)], bds[inv.reshape(-1)]
 
     def step(self, power_w: Sequence[float], dt_s: float) -> np.ndarray:
         """Advance the network by ``dt_s`` under constant node powers (W).
@@ -271,11 +311,12 @@ class ThermalRCNetwork:
             ``(B,)`` fan-driven multipliers on the cooled nodes' ambient
             conductance (each lane's fan runs its own controller).
 
-        Lanes sharing an effective conductance are integrated with one
-        cached ``(Ad, Bd)`` pair; the per-lane update is an ``einsum``
-        over the fixed node axis, so each lane's result is independent of
-        which other lanes ride in the batch -- the property the
-        batch/serial byte-identity contract rests on.
+        Lanes sharing an effective conductance share one cached
+        ``(Ad, Bd)`` pair (gathered to a per-lane stack by
+        :meth:`discretise_stack`); the update is one ``einsum`` over the
+        fixed node axis, so each lane's result is independent of which
+        other lanes ride in the batch -- the property the batch/serial
+        byte-identity contract rests on.
         """
         if dt_s <= 0:
             raise SimulationError("dt must be positive")
@@ -296,14 +337,13 @@ class ThermalRCNetwork:
         u = np.concatenate(
             [power_w, np.full((batch, 1), self.ambient_k)], axis=1
         )
-        out = np.empty_like(temps_k)
-        for gain in np.unique(gains):
-            lanes = gains == gain
-            ad, bd = self._discretise(dt_s, float(gain))
-            out[lanes] = np.einsum(
-                "ij,bj->bi", ad, temps_k[lanes]
-            ) + np.einsum("ij,bj->bi", bd, u[lanes])
-        return out
+        # one gathered-stack einsum instead of a per-unique-gain Python
+        # loop; bit-identical per lane to the grouped "ij,bj->bi" form
+        # (einsum accumulates over the node axis in the same order)
+        ad, bd = self.discretise_stack(dt_s, gains)
+        return np.einsum("bij,bj->bi", ad, temps_k) + np.einsum(
+            "bij,bj->bi", bd, u
+        )
 
     def steady_state_k(self, power_w: Sequence[float]) -> np.ndarray:
         """Steady-state temperatures for constant node powers (K).

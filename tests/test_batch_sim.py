@@ -28,7 +28,7 @@ from repro.runner import (
 from repro.runner.execute import default_batch
 from repro.runner.spec import RunSpec
 from repro.sim.engine import BatchSimulator, Simulator, ThermalMode
-from repro.thermal import floorplan
+from repro.thermal import floorplan, kernels
 from repro.units import celsius_to_kelvin
 from repro.workloads.generator import synthesize
 
@@ -226,7 +226,10 @@ def test_batched_fan_controller_matches_scalar(rng):
     for base_c in ramp_c:
         max_hot_k = celsius_to_kelvin(base_c) + 3.0 * rng.random(batch)
         expected = [f.update(float(t)) for f, t in zip(fans, max_hot_k)]
-        state.fan_speed = plant._update_fans(state, max_hot_k)
+        state.fan_speed = kernels.fan_step(
+            state.fan_speed, state.fan_enabled, max_hot_k,
+            plant._fan_up_k, plant._fan_hyst_k,
+        )
         assert [FanSpeed(int(s)) for s in state.fan_speed] == expected
 
 

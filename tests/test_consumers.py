@@ -11,6 +11,7 @@ from repro.analysis.stats import (
     streaming_stability,
 )
 from repro.sim.consumers import (
+    AsyncConsumerPump,
     RunningStats,
     StreamingPower,
     StreamingStability,
@@ -283,3 +284,83 @@ def test_streaming_power_mean_matches_trace(workload):
         assert power.mean_w(rail) == pytest.approx(
             float(np.mean(result.trace.column(rail))), rel=1e-12
         )
+
+
+# ---------------------------------------------------------------------------
+# async pump: off-thread draining with flush-on-finish
+# ---------------------------------------------------------------------------
+def test_async_pump_streaming_equals_direct(workload):
+    """Pumped consumers see the complete run by the time ``run()``
+    returns (flush-on-finish), and aggregate identically to direct
+    attachment."""
+    direct = StreamingStability(skip_s=10.0)
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=120.0, consumers=[direct]
+    ).run()
+
+    pumped = StreamingStability(skip_s=10.0)
+    probe = Recording()
+    pump = AsyncConsumerPump([pumped, probe])
+    pump_result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=120.0, consumers=[pump]
+    ).run()
+    assert probe.intervals == len(pump_result.trace)
+    assert probe.ends == [pump_result]
+    assert pumped.peak_c == direct.peak_c
+    assert pumped.settled.count == direct.settled.count
+    assert pumped.average_temp_c == direct.average_temp_c
+    assert pumped.variance_c2 == direct.variance_c2
+
+
+def test_async_pump_snapshots_interval_mappings(workload):
+    """The engine reuses its per-interval mapping; the pump must hand
+    each wrapped consumer a stable snapshot instead."""
+
+    class Holder(TraceConsumer):
+        def __init__(self):
+            self.times = []
+            self.held = []
+
+        def on_interval(self, values):
+            self.times.append(values["time_s"])
+            self.held.append(values)  # deliberately violates the
+            # no-holding contract -- snapshots make it safe
+
+    holder = Holder()
+    pump = AsyncConsumerPump([holder])
+    result = Simulator(
+        workload, ThermalMode.NO_FAN, max_duration_s=60.0, consumers=[pump]
+    ).run()
+    assert holder.times == list(result.trace.column("time_s"))
+    # held mappings are genuine snapshots, not one recycled dict
+    assert [m["time_s"] for m in holder.held] == holder.times
+
+
+def test_async_pump_surfaces_downstream_errors(workload):
+    class Exploding(TraceConsumer):
+        def on_interval(self, values):
+            raise ValueError("downstream blew up")
+
+    pump = AsyncConsumerPump([Exploding()])
+    with pytest.raises(ValueError, match="downstream blew up"):
+        Simulator(
+            workload, ThermalMode.NO_FAN, max_duration_s=60.0,
+            consumers=[pump],
+        ).run()
+
+
+def test_async_pump_validates_bound():
+    with pytest.raises(SimulationError):
+        AsyncConsumerPump([], maxsize=0)
+
+
+def test_async_pump_replay_path(workload):
+    """replay() through a pump == replay() direct (cached-result path)."""
+    result = Simulator(workload, ThermalMode.NO_FAN, max_duration_s=60.0).run()
+    direct = StreamingPower()
+    replay(result, [direct])
+    pumped = StreamingPower()
+    pump = AsyncConsumerPump([pumped], maxsize=4)  # tiny bound still drains
+    replay(result, [pump])
+    for rail in StreamingPower.RAILS:
+        assert pumped.mean_w(rail) == direct.mean_w(rail)

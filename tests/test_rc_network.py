@@ -128,6 +128,25 @@ def test_step_input_validation():
         net.step([1.0, 0.0], -0.1)
 
 
+def test_discretisation_cache_stays_bounded():
+    """Long varying-gain runs (continuous effective gains from the
+    temperature-dependent nonlinear factor) must not grow the
+    ``(dt, gain)`` cache without limit."""
+    from repro.thermal.rc_network import DISC_CACHE_SIZE
+
+    net = _two_node()
+    for i in range(3 * DISC_CACHE_SIZE):
+        net.set_cooling_gain(1.0 + 1e-4 * i)  # every step a fresh key
+        net.step([1.0, 0.0], 0.1)
+        assert len(net._disc_cache) <= DISC_CACHE_SIZE
+    assert len(net._disc_cache) == DISC_CACHE_SIZE
+    # eviction is least-recently-used: the hottest key survives a miss
+    hot_key = next(reversed(net._disc_cache))
+    net.set_cooling_gain(99.0)
+    net.step([1.0, 0.0], 0.1)
+    assert hot_key in net._disc_cache
+
+
 def test_node_validation():
     with pytest.raises(ConfigurationError):
         ThermalNode("bad", -1.0)
