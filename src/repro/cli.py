@@ -534,6 +534,12 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -684,6 +690,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "to (default: $REPRO_CACHE_DIR; without one "
                             "results live in memory only)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    from repro.devtools.cli import add_lint_arguments
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repo's invariant linter: determinism (RPR01x), "
+             "cache-key coherence (RPR02x), batch parity (RPR03x) and "
+             "lock discipline (RPR04x) as a single-walk AST pass",
+    )
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools`` -- run the invariant linter."""
+
+import sys
+
+from repro.devtools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Command-line front end of the invariant linter.
+
+Reachable two ways with identical behaviour::
+
+    repro-dtpm lint [paths...] [--format=json] [--severity RPR032=warning]
+    python -m repro.devtools [paths...]
+
+Exit status: 0 clean (warnings allowed), 1 at least one error-severity
+finding, 2 usage problems.  ``--update-manifests`` refreshes the RPR022
+cache manifest first (refusing semantic drift without a ``CACHE_FORMAT``
+bump) and then lints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.devtools import all_rule_classes, default_rules
+from repro.devtools.cachekey import update_cache_manifest
+from repro.devtools.framework import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    LintConfig,
+    run_lint,
+)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``lint`` arguments on a parser/subparser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="output_format", help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--severity", action="append", default=[], metavar="RULE=LEVEL",
+        help="override one rule's severity, e.g. RPR032=warning "
+             "(repeatable)",
+    )
+    parser.add_argument(
+        "--update-manifests", action="store_true",
+        help="refresh the pinned cache manifest before linting "
+             "(refuses numeric drift without a CACHE_FORMAT bump)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+
+
+def _parse_severities(pairs: Sequence[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        rule, sep, level = pair.partition("=")
+        if not sep or not rule or level not in (
+            SEVERITY_ERROR, SEVERITY_WARNING
+        ):
+            raise ValueError(
+                "--severity wants RULE=error|warning, got %r" % pair
+            )
+        out[rule.strip()] = level
+    return out
+
+
+def _src_root(paths: Sequence[str]) -> Optional[str]:
+    for path in paths:
+        if os.path.isdir(path) and os.path.exists(
+            os.path.join(path, "repro", "runner", "spec.py")
+        ):
+            return path
+    return None
+
+
+def _render_human(findings: List[Finding]) -> None:
+    for finding in findings:
+        print(finding.render())
+    errors = sum(1 for f in findings if f.severity == SEVERITY_ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(
+            "repro-dtpm lint: %d error(s), %d warning(s)"
+            % (errors, warnings)
+        )
+    else:
+        print("repro-dtpm lint: clean")
+
+
+def _render_json(findings: List[Finding]) -> None:
+    errors = sum(1 for f in findings if f.severity == SEVERITY_ERROR)
+    payload = {
+        "version": 1,
+        "errors": errors,
+        "warnings": len(findings) - errors,
+        "findings": [f.to_dict() for f in findings],
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def run_lint_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit status."""
+    if args.list_rules:
+        for cls in all_rule_classes():
+            print(
+                "%s  %-28s [%s] %s"
+                % (cls.id, cls.name, cls.severity, cls.description)
+            )
+        return 0
+    try:
+        config = LintConfig(
+            severity_overrides=_parse_severities(args.severity)
+        )
+    except ValueError as exc:
+        print("repro-dtpm lint: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.update_manifests:
+        src_root = _src_root(args.paths)
+        if src_root is None:
+            print(
+                "repro-dtpm lint: --update-manifests needs a lint path "
+                "containing repro/runner/spec.py (e.g. src)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            print(update_cache_manifest(src_root))
+        except (OSError, ValueError) as exc:
+            print("repro-dtpm lint: %s" % exc, file=sys.stderr)
+            return 2
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(
+            "repro-dtpm lint: no such path(s): %s" % ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = run_lint(args.paths, default_rules(config), config)
+    if args.output_format == "json":
+        _render_json(findings)
+    else:
+        _render_human(findings)
+    return 1 if any(f.severity == SEVERITY_ERROR for f in findings) else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="repo-specific invariant linter (determinism, "
+                    "cache-key coherence, batch parity, lock discipline)",
+    )
+    add_lint_arguments(parser)
+    return run_lint_cli(parser.parse_args(argv))

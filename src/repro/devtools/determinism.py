@@ -1,0 +1,215 @@
+"""RPR01x -- determinism rules.
+
+The paper's experiments are content-addressed: a :class:`RunSpec` plus a
+model fingerprint *is* the result.  That only holds when nothing inside
+the numeric layers (``sim/``, ``thermal/``, ``power/``, ``platform/``)
+consumes entropy outside the seeded ``np.random.Generator`` threaded in
+from the spec.  These rules keep the unsanctioned sources out:
+
+* RPR011 -- builtin ``hash()``: salted per process (PYTHONHASHSEED), so
+  hash-derived seeds differ across runs and across pool workers.
+* RPR012 -- wall-clock reads (``time.time``, ``datetime.now``, ...):
+  results must not depend on when they were computed.
+* RPR013 -- global/legacy RNG APIs (``random.*``, ``np.random.*`` except
+  ``default_rng``): process-global streams are order-dependent under
+  batching and invisible to the content key.
+* RPR014 -- ``==``/``!=`` against float literals: representation-fragile
+  across vectorised/scalar paths; use a tolerance.
+* RPR015 -- mutable default arguments: state leaks across calls, so two
+  identical specs can diverge.
+
+RPR011-013 apply only inside the numeric-layer directories; RPR014-015
+apply everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.framework import FileContext, Rule, dotted_name
+
+#: Path components marking the deterministic numeric layers.
+DETERMINISM_DIRS = frozenset({"sim", "thermal", "power", "platform"})
+
+#: Wall-clock call targets (dotted form) flagged by RPR012.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: ``np.random`` attributes that are sanctioned (seeded-Generator API).
+_SANCTIONED_NP_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return bool(DETERMINISM_DIRS & ctx.part_names())
+
+
+class BuiltinHashRule(Rule):
+    """RPR011: ``hash()`` is process-salted; never derive seeds from it."""
+
+    id = "RPR011"
+    name = "no-builtin-hash"
+    description = (
+        "builtin hash() is salted per process (PYTHONHASHSEED); deriving "
+        "seeds or keys from it breaks cross-process determinism"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        if not _in_scope(ctx):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            ctx.report(
+                node, self,
+                "builtin hash() is salted per process; derive seeds with "
+                "zlib.crc32/hashlib over canonical bytes instead",
+            )
+
+
+class WallClockRule(Rule):
+    """RPR012: numeric layers must not read the wall clock."""
+
+    id = "RPR012"
+    name = "no-wall-clock"
+    description = (
+        "wall-clock reads inside the numeric layers make results depend "
+        "on when they were computed"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        if not _in_scope(ctx):
+            return
+        dotted = dotted_name(node.func)
+        if dotted in _WALL_CLOCK:
+            ctx.report(
+                node, self,
+                "%s() inside a numeric-layer module; simulated time must "
+                "come from the spec/clock state, not the host" % dotted,
+            )
+
+
+class GlobalRngRule(Rule):
+    """RPR013: only the seeded ``np.random.Generator`` API is sanctioned."""
+
+    id = "RPR013"
+    name = "no-global-rng"
+    description = (
+        "process-global RNG streams (random.*, legacy np.random.*) are "
+        "order-dependent under batching and invisible to the content key"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        if not _in_scope(ctx):
+            return
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            ctx.report(
+                node, self,
+                "stdlib random.%s() uses the process-global stream; thread "
+                "a seeded np.random.Generator from the spec" % parts[1],
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] not in _SANCTIONED_NP_RANDOM
+        ):
+            ctx.report(
+                node, self,
+                "legacy %s() draws from the global NumPy stream; use a "
+                "seeded np.random.default_rng(...) Generator" % dotted,
+            )
+
+
+class FloatEqualityRule(Rule):
+    """RPR014: ``==``/``!=`` against a float literal."""
+
+    id = "RPR014"
+    name = "no-float-literal-equality"
+    description = (
+        "equality against a float literal is representation-fragile "
+        "across scalar/batch paths; compare with a tolerance"
+    )
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and isinstance(
+                operand.value, float
+            ):
+                ctx.report(
+                    node, self,
+                    "comparison against float literal %r; use math.isclose/"
+                    "np.isclose or an explicit tolerance" % operand.value,
+                )
+                return
+
+
+class MutableDefaultRule(Rule):
+    """RPR015: mutable default argument values."""
+
+    id = "RPR015"
+    name = "no-mutable-default-arg"
+    description = (
+        "mutable default arguments persist across calls, so identical "
+        "specs can observe different state"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(default, ast.Call) and isinstance(default.func, ast.Name):
+            return default.func.id in self._MUTABLE_CTORS
+        return False
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    default, self,
+                    "mutable default argument in %s(); default to None and "
+                    "construct inside the body" % node.name,
+                )
+
+
+RULES = (
+    BuiltinHashRule,
+    WallClockRule,
+    GlobalRngRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)

@@ -55,9 +55,9 @@ class OdroidBoard:
         self,
         spec: Optional[PlatformSpec] = None,
         config: Optional[SimulationConfig] = None,
-        rng: np.random.Generator = None,
+        rng: Optional[np.random.Generator] = None,
         fan_enabled: bool = True,
-        thermal_constants: dict = None,
+        thermal_constants: Optional[dict] = None,
     ) -> None:
         self.spec = spec or PlatformSpec()
         self.config = config or SimulationConfig()
@@ -80,7 +80,7 @@ class OdroidBoard:
         )
         self.meter = PlatformPowerMeter(self.rng)
         self._time_s = 0.0
-        self._last_power_state: SocPowerState = None
+        self._last_power_state: Optional[SocPowerState] = None
 
     # ------------------------------------------------------------------
     # state

@@ -128,7 +128,7 @@ class PlantState:
 
     def scatter(self, boards: Sequence[OdroidBoard]) -> None:
         """Write every lane's advanced plant state back to its board."""
-        for i, board in enumerate(boards):
+        for i, board in enumerate(boards):  # repro-lint: disable=RPR032 -- O(B) attribute writeback into scalar boards, not a numeric kernel
             board.sync_lane(
                 self.temps_k[i],
                 float(self.cooling_gain[i]),
@@ -178,7 +178,7 @@ class BatchPlant:
             raise ConfigurationError("a batch plant needs at least one board")
         self.boards: List[OdroidBoard] = list(boards)
         first = self.boards[0]
-        for board in self.boards[1:]:
+        for board in self.boards[1:]:  # repro-lint: disable=RPR032 -- constructor-time compatibility validation, runs once per batch
             if board.spec != first.spec:
                 raise ConfigurationError(
                     "batched boards must share one platform spec"
@@ -258,7 +258,7 @@ class BatchPlant:
             )
         batch = state.batch
         noise = np.zeros((batch, substeps))
-        for i, lane in enumerate(lanes):
+        for i, lane in enumerate(lanes):  # repro-lint: disable=RPR032 -- per-lane RNG streams must be consumed in serial lane order for bit-parity with scalar runs
             meter = self.boards[lane].meter
             if meter.relative_noise > 0:
                 noise[i] = self.boards[lane].rng.normal(

@@ -33,6 +33,7 @@ import json
 import os
 import struct
 import tempfile
+import threading
 import time
 import zipfile
 from dataclasses import dataclass, field
@@ -260,10 +261,14 @@ class ResultCache:
             os.path.abspath(os.path.expanduser(root)) if root else None
         )
         self.mmap = mmap
+        self._lock = threading.Lock()
         # decoded results, so repeated in-process hits skip JSON parsing
-        # (callers share the object, like the old per-session run memo)
-        self._memory: Optional[Dict[str, RunResult]] = {} if memory else None
-        self.stats = CacheStats()
+        # (callers share the object, like the old per-session run memo);
+        # service HTTP threads and job workers share one instance
+        self._memory: Optional[Dict[str, RunResult]] = (  # guarded-by: _lock
+            {} if memory else None
+        )
+        self.stats = CacheStats()  # guarded-by: _lock
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -321,21 +326,27 @@ class ResultCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[RunResult]:
         """The cached result for ``key``, or None on a miss."""
-        if self._memory is not None and key in self._memory:
-            self.stats.hits += 1
+        with self._lock:
+            memo = (
+                self._memory.get(key) if self._memory is not None else None
+            )
+            if memo is not None:
+                self.stats.hits += 1
+        if memo is not None:
             if self.root is not None:
                 # memory-layer hits must keep the disk entry warm too, or
                 # a long-lived process would let prune() evict its hottest
                 # keys by their stale first-read stamp
                 self._touch(self._path(key))
-            return self._memory[key]
-        result = self._load_disk(key)
-        if result is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        if self._memory is not None:
-            self._memory[key] = result
+            return memo
+        result = self._load_disk(key)  # file I/O stays outside the lock
+        with self._lock:
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            if self._memory is not None:
+                self._memory[key] = result
         return result
 
     @staticmethod
@@ -354,8 +365,9 @@ class ResultCache:
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a result under its content key (v2 artifact layout)."""
-        if self._memory is not None:
-            self._memory[key] = result
+        with self._lock:
+            if self._memory is not None:
+                self._memory[key] = result
         if self.root is not None:
             path = self._path(key)
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -363,7 +375,17 @@ class ResultCache:
             # commit point, so readers never see a summary without a blob
             self._atomic_write(self._blob_path(key), trace_blob_bytes(result))
             self._atomic_write(path, payload_bytes(result_to_summary(result)))
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
+
+    def stats_snapshot(self) -> CacheStats:
+        """A point-in-time copy of the hit/miss/store counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self.stats.hits,
+                misses=self.stats.misses,
+                stores=self.stats.stores,
+            )
 
     # ------------------------------------------------------------------
     # suite-scale read path: summaries without traces, traces as memmaps
@@ -418,13 +440,15 @@ class ResultCache:
         )
 
     def __contains__(self, key: str) -> bool:
-        if self._memory is not None and key in self._memory:
-            return True
+        with self._lock:
+            if self._memory is not None and key in self._memory:
+                return True
         return self.root is not None and os.path.exists(self._path(key))
 
     def __len__(self) -> int:
         """Number of distinct entries reachable from this cache."""
-        keys = set(self._memory or ())
+        with self._lock:
+            keys = set(self._memory or ())
         if self.root is not None and os.path.isdir(self.root):
             for _, json_path, _blob in _iter_entries(self.root):
                 keys.add(os.path.basename(json_path)[: -len(".json")])

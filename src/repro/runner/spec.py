@@ -22,7 +22,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.workloads.trace import WorkloadTrace
 CACHE_FORMAT = 3
 
 
-def _canonical(obj):
+def _canonical(obj: Any) -> Any:
     """Convert a spec-graph object to a canonical JSON-able structure.
 
     Dataclasses become ``{"__class__": name, **fields}``, enums their value,
@@ -86,7 +86,7 @@ def _canonical(obj):
     )
 
 
-def canonical_json(obj) -> str:
+def canonical_json(obj: Any) -> str:
     """Deterministic JSON rendering of a canonicalised object graph."""
     return json.dumps(
         _canonical(obj), sort_keys=True, separators=(",", ":")
@@ -224,7 +224,7 @@ class RunSpec:
             )
 
     @classmethod
-    def for_benchmark(cls, name: str, mode: ThermalMode, **kwargs) -> "RunSpec":
+    def for_benchmark(cls, name: str, mode: ThermalMode, **kwargs: Any) -> "RunSpec":
         """Spec for a Table-6.4 benchmark looked up by name."""
         return cls(workload=get_benchmark(name), mode=mode, **kwargs)
 
@@ -373,11 +373,11 @@ def _resolve_schedule(
     return tuple(resolve_schedule_entry(entry) for entry in entries)
 
 
-def _entry_workload(entry) -> WorkloadTrace:
+def _entry_workload(entry: Any) -> WorkloadTrace:
     return entry[0] if isinstance(entry, tuple) else entry
 
 
-def _entry_mode(entry, default: ThermalMode) -> ThermalMode:
+def _entry_mode(entry: Any, default: ThermalMode) -> ThermalMode:
     return entry[1] if isinstance(entry, tuple) else default
 
 

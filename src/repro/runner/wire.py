@@ -26,7 +26,7 @@ guard-band applicability) stays where it always was -- in the dataclass
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.config import SimulationConfig
 from repro.errors import WireError, WorkloadError
@@ -52,7 +52,7 @@ _MODES: Dict[str, ThermalMode] = {m.value: m for m in ThermalMode}
 _RESOURCES: Dict[str, Resource] = {r.value: r for r in Resource}
 
 
-def _require_mapping(obj, where: str) -> dict:
+def _require_mapping(obj: Any, where: str) -> dict:
     if not isinstance(obj, dict):
         raise WireError(
             "%s must be a JSON object, got %s" % (where, type(obj).__name__)
@@ -60,7 +60,7 @@ def _require_mapping(obj, where: str) -> dict:
     return obj
 
 
-def _require_list(obj, where: str) -> list:
+def _require_list(obj: Any, where: str) -> list:
     if not isinstance(obj, (list, tuple)):
         raise WireError(
             "%s must be a JSON array, got %s" % (where, type(obj).__name__)
@@ -68,7 +68,7 @@ def _require_list(obj, where: str) -> list:
     return list(obj)
 
 
-def _reject_unknown(payload: dict, known, where: str) -> None:
+def _reject_unknown(payload: dict, known: Iterable[str], where: str) -> None:
     unknown = sorted(set(payload) - set(known))
     if unknown:
         raise WireError(
@@ -77,7 +77,7 @@ def _reject_unknown(payload: dict, known, where: str) -> None:
         )
 
 
-def _mode_from_wire(obj, where: str) -> ThermalMode:
+def _mode_from_wire(obj: Any, where: str) -> ThermalMode:
     try:
         return _MODES[obj]
     except (KeyError, TypeError):
@@ -87,7 +87,7 @@ def _mode_from_wire(obj, where: str) -> ThermalMode:
         ) from None
 
 
-def _dataclass_defaults(cls) -> Dict[str, object]:
+def _dataclass_defaults(cls: type) -> Dict[str, object]:
     out = {}
     for f in dataclasses.fields(cls):
         if f.default is not dataclasses.MISSING:
@@ -95,12 +95,12 @@ def _dataclass_defaults(cls) -> Dict[str, object]:
     return out
 
 
-def _scalars_to_wire(obj) -> dict:
+def _scalars_to_wire(obj: Any) -> dict:
     """Flat dataclass (scalar fields only) -> plain field dict."""
     return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
 
 
-def _scalars_from_wire(cls, obj, where: str):
+def _scalars_from_wire(cls: type, obj: Any, where: str) -> Any:
     payload = _require_mapping(obj, where)
     names = [f.name for f in dataclasses.fields(cls)]
     _reject_unknown(payload, names, where)
@@ -124,7 +124,7 @@ def _scalars_from_wire(cls, obj, where: str):
 _WORKLOAD_FIELDS = [f.name for f in dataclasses.fields(WorkloadTrace)]
 
 
-def workload_to_wire(workload: WorkloadTrace):
+def workload_to_wire(workload: WorkloadTrace) -> Any:
     """A workload as wire JSON: its name when it *is* that benchmark.
 
     Registered benchmarks compress to their name (resolved back through
@@ -141,7 +141,7 @@ def workload_to_wire(workload: WorkloadTrace):
     return payload
 
 
-def workload_from_wire(obj, where: str = "workload") -> WorkloadTrace:
+def workload_from_wire(obj: Any, where: str = "workload") -> WorkloadTrace:
     """Resolve a wire workload: a benchmark name or an inline trace."""
     if isinstance(obj, str):
         try:
@@ -176,7 +176,7 @@ def config_to_wire(config: Optional[SimulationConfig]) -> Optional[dict]:
     return None if config is None else _scalars_to_wire(config)
 
 
-def config_from_wire(obj, where: str = "config") -> Optional[SimulationConfig]:
+def config_from_wire(obj: Any, where: str = "config") -> Optional[SimulationConfig]:
     if obj is None:
         return None
     return _scalars_from_wire(SimulationConfig, obj, where)
@@ -190,7 +190,7 @@ def _opp_to_wire(table: OppTable) -> dict:
     }
 
 
-def _opp_from_wire(obj, where: str) -> OppTable:
+def _opp_from_wire(obj: Any, where: str) -> OppTable:
     payload = _require_mapping(obj, where)
     _reject_unknown(
         payload, ("name", "frequencies_hz", "voltage_curve"), where
@@ -238,7 +238,7 @@ def platform_to_wire(platform: Optional[PlatformSpec]) -> Optional[dict]:
 _PLATFORM_FIELDS = [f.name for f in dataclasses.fields(PlatformSpec)]
 
 
-def platform_from_wire(obj, where: str = "platform") -> Optional[PlatformSpec]:
+def platform_from_wire(obj: Any, where: str = "platform") -> Optional[PlatformSpec]:
     if obj is None:
         return None
     payload = dict(_require_mapping(obj, where))
@@ -319,7 +319,7 @@ def spec_to_wire(spec: RunSpec) -> dict:
     }
 
 
-def spec_from_wire(obj, where: str = "spec") -> RunSpec:
+def spec_from_wire(obj: Any, where: str = "spec") -> RunSpec:
     """Decode one wire spec; the inverse of :func:`spec_to_wire`.
 
     Only ``workload`` and ``mode`` are required beyond ``schema``; every
@@ -335,7 +335,7 @@ def spec_from_wire(obj, where: str = "spec") -> RunSpec:
                 "%s is missing required field %r" % (where, name)
             )
 
-    def default(name):
+    def default(name: str) -> Any:
         return payload.get(name, _SPEC_DEFAULTS[name])
 
     return RunSpec(
@@ -377,14 +377,14 @@ _MATRIX_FIELDS = (
 _MATRIX_DEFAULTS = _dataclass_defaults(ExperimentMatrix)
 
 
-def _schedule_entry_to_wire(entry):
+def _schedule_entry_to_wire(entry: Any) -> Any:
     if isinstance(entry, tuple):
         workload, mode = entry
         return {"workload": workload_to_wire(workload), "mode": mode.value}
     return workload_to_wire(entry)
 
 
-def _schedule_entry_from_wire(obj, where: str):
+def _schedule_entry_from_wire(obj: Any, where: str) -> Any:
     if isinstance(obj, dict) and set(obj) == {"workload", "mode"}:
         return (
             workload_from_wire(obj["workload"], where + ".workload"),
@@ -413,13 +413,13 @@ def matrix_to_wire(matrix: ExperimentMatrix) -> dict:
     }
 
 
-def matrix_from_wire(obj, where: str = "matrix") -> ExperimentMatrix:
+def matrix_from_wire(obj: Any, where: str = "matrix") -> ExperimentMatrix:
     """Decode one wire grid; the inverse of :func:`matrix_to_wire`."""
     payload = _require_mapping(obj, where)
     _check_schema(payload, where)
     _reject_unknown(payload, _MATRIX_FIELDS, where)
 
-    def default(name):
+    def default(name: str) -> Any:
         return payload.get(name, _MATRIX_DEFAULTS[name])
 
     modes: Tuple[ThermalMode, ...] = _MATRIX_DEFAULTS["modes"]

@@ -39,7 +39,7 @@ import threading
 import time
 from functools import partial
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.errors import ReproError
@@ -107,8 +107,8 @@ class EvaluationService:
             workers=workers,
             batch=batch,
         )
-        self._warm_memo: Dict[bytes, bytes] = {}
         self._memo_lock = threading.Lock()
+        self._warm_memo: Dict[bytes, bytes] = {}  # guarded-by: _memo_lock
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
         self.httpd.service = self  # type: ignore[attr-defined]
@@ -160,22 +160,28 @@ class EvaluationService:
         return spec_key(spec, models)
 
     def stats_payload(self) -> dict:
+        cache_stats = self.cache.stats_snapshot()
         return {
             "ok": True,
             "schema": WIRE_SCHEMA,
             "uptime_s": time.time() - self.started_s,
             "cache": {
                 "root": self.cache.root,
-                "hits": self.cache.stats.hits,
-                "misses": self.cache.stats.misses,
-                "stores": self.cache.stats.stores,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "stores": cache_stats.stores,
             },
             "queue": self.jobs.snapshot(),
-            "warm_memo": len(self._warm_memo),
+            "warm_memo": self.memo_size(),
         }
 
+    def memo_size(self) -> int:
+        with self._memo_lock:
+            return len(self._warm_memo)
+
     def memo_get(self, body: bytes) -> Optional[bytes]:
-        return self._warm_memo.get(body)
+        with self._memo_lock:
+            return self._warm_memo.get(body)
 
     def memo_put(self, body: bytes, response: bytes) -> None:
         with self._memo_lock:
@@ -194,7 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> EvaluationService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, fmt, *args):  # noqa: D102 - stdlib override
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102 - stdlib override
         if self.service.verbose:
             BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
@@ -267,11 +273,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, service.stats_payload())
             return
         if path.startswith("/v1/jobs/"):
-            job = service.jobs.get(path[len("/v1/jobs/"):])
-            if job is None:
+            payload = service.jobs.status(path[len("/v1/jobs/"):])
+            if payload is None:
                 self._send_error_json(404, "unknown_job", "no such job")
                 return
-            self._send_json(200, job.snapshot())
+            self._send_json(200, payload)
             return
         if path.startswith("/v1/runs/"):
             rest = path[len("/v1/runs/"):]

@@ -117,23 +117,23 @@ class JobQueue:
             raise SimulationError("the job queue needs at least one worker")
         self.cache = cache
         self.batch = default_batch() if batch is None else batch
-        self._models: Optional[ModelBundle] = (
+        self._models_lock = threading.Lock()
+        self._models: Optional[ModelBundle] = (  # guarded-by: _models_lock
             models if isinstance(models, ModelBundle) else None
         )
         self._models_factory = models if callable(models) else None
-        self._models_lock = threading.Lock()
 
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._pending: List[Job] = []
-        self._jobs: Dict[str, Job] = {}
-        self._inflight: Dict[str, str] = {}  # content key -> job id
-        self._next_id = 0
-        self._closing = False
+        self._pending: List[Job] = []  # guarded-by: _lock
+        self._jobs: Dict[str, Job] = {}  # guarded-by: _lock
+        self._inflight: Dict[str, str] = {}  # key -> job id; guarded-by: _lock
+        self._next_id = 0  # guarded-by: _lock
+        self._closing = False  # guarded-by: _lock
         #: Requests that attached to an existing in-flight job.
-        self.coalesced = 0
+        self.coalesced = 0  # guarded-by: _lock
         #: Simulations executed across the queue's lifetime.
-        self.executed = 0
+        self.executed = 0  # guarded-by: _lock
 
         self._threads = [
             threading.Thread(
@@ -148,11 +148,15 @@ class JobQueue:
     # ------------------------------------------------------------------
     def resolve_models(self) -> Optional[ModelBundle]:
         """The model bundle, building it on first need (thread-safe)."""
-        if self._models is None and self._models_factory is not None:
-            with self._models_lock:
-                if self._models is None:
-                    self._models = self._models_factory()
-        return self._models
+        with self._models_lock:
+            if self._models is None and self._models_factory is not None:
+                self._models = self._models_factory()
+            return self._models
+
+    def _peek_models(self) -> Optional[ModelBundle]:
+        """The bundle if already resolved, without triggering a build."""
+        with self._models_lock:
+            return self._models
 
     # ------------------------------------------------------------------
     def submit(
@@ -207,6 +211,17 @@ class JobQueue:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def status(self, job_id: str) -> Optional[dict]:
+        """A consistent progress snapshot of one job, or None.
+
+        Taken under the queue lock so a poll can never observe a
+        half-updated job (e.g. ``state == DONE`` with a stale
+        ``completed`` count while a worker is mid-transition).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return None if job is None else job.snapshot()
+
     def snapshot(self) -> dict:
         """Queue-level counters for the stats endpoint."""
         with self._lock:
@@ -241,7 +256,7 @@ class JobQueue:
             models = (
                 self.resolve_models()
                 if any(s.needs_models for s in job.specs)
-                else self._models
+                else self._peek_models()
             )
             runner = ParallelRunner(
                 workers=1, cache=self.cache, models=models, batch=self.batch

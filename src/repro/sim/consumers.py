@@ -274,7 +274,8 @@ class AsyncConsumerPump(TraceConsumer):
             raise SimulationError("queue bound must be positive")
         self.consumers = list(consumers)
         self._queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
-        self._error: Optional[BaseException] = None
+        self._error_lock = threading.Lock()
+        self._error: Optional[BaseException] = None  # guarded-by: _error_lock
         self._worker = threading.Thread(
             target=self._drain, name="consumer-pump", daemon=True
         )
@@ -285,17 +286,26 @@ class AsyncConsumerPump(TraceConsumer):
         while True:
             hook, args = self._queue.get()
             try:
-                if self._error is None:
+                if self._take_error(peek=True) is None:
                     for consumer in self.consumers:
                         getattr(consumer, hook)(*args)
             except BaseException as exc:  # noqa: BLE001 - parked for the caller
-                self._error = exc
+                with self._error_lock:
+                    self._error = exc
             finally:
                 self._queue.task_done()
 
+    def _take_error(self, peek: bool = False) -> Optional[BaseException]:
+        """Pop (or just read) the parked downstream error, atomically."""
+        with self._error_lock:
+            error = self._error
+            if not peek:
+                self._error = None
+            return error
+
     def _publish(self, hook: str, *args) -> None:
-        if self._error is not None:
-            error, self._error = self._error, None
+        error = self._take_error()
+        if error is not None:
             raise error
         self._queue.put((hook, args))
 
@@ -314,8 +324,8 @@ class AsyncConsumerPump(TraceConsumer):
     def flush(self) -> None:
         """Block until every queued interval has been consumed."""
         self._queue.join()
-        if self._error is not None:
-            error, self._error = self._error, None
+        error = self._take_error()
+        if error is not None:
             raise error
 
 

@@ -161,7 +161,7 @@ def _numba_fused_chain():  # pragma: no cover - exercised on the numba CI leg
             traj = np.empty((substeps, batch, n))
             t = temps_k.copy()
             for k in range(substeps):
-                for b in range(batch):
+                for b in range(batch):  # repro-lint: disable=RPR032 -- numba-compiled body; explicit loops beat einsum inside njit
                     for i in range(n):
                         acc = 0.0
                         for j in range(n):

@@ -1,0 +1,94 @@
+"""Parity pins for the batch kernels the other suites don't cover.
+
+Every scalar/batch pair registered in
+``src/repro/devtools/data/parity_manifest.json`` must be backed by a
+test that exercises the batch form against its scalar twin -- the
+RPR031 lint rule checks the manifest names these tests and that they
+actually mention the batch functions.  This module pins the metric and
+frame accessors; the simulation kernels are pinned by
+``test_batch_sim.py`` / ``test_analysis.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.suite import SuiteFrame
+from repro.runner import ParallelRunner, ResultCache, RunSpec
+from repro.sim.engine import ThermalMode
+from repro.sim.metrics import (
+    performance_loss_pct,
+    performance_loss_pct_batch,
+    power_savings_pct,
+    power_savings_pct_batch,
+)
+from repro.workloads.generator import synthesize
+
+
+def _specs(n=4, duration_s=10.0):
+    specs = []
+    for i in range(n):
+        workload = synthesize(
+            "medium", duration_s, threads=1, seed=i // 2,
+            name="par%d" % (i // 2),
+        )
+        mode = (ThermalMode.DEFAULT_WITH_FAN, ThermalMode.NO_FAN)[i % 2]
+        specs.append(
+            RunSpec(
+                workload=workload,
+                mode=mode,
+                max_duration_s=4 * duration_s,
+                seed=900 + i,
+            )
+        )
+    return specs
+
+
+@pytest.fixture(scope="module")
+def results():
+    return ParallelRunner(cache=ResultCache()).run(_specs())
+
+
+def test_power_savings_batch_matches_scalar(results):
+    baselines = results[0::2]
+    candidates = results[1::2]
+    batch = power_savings_pct_batch(
+        np.array([r.average_platform_power_w for r in baselines]),
+        np.array([r.average_platform_power_w for r in candidates]),
+    )
+    scalar = [
+        power_savings_pct(b, c) for b, c in zip(baselines, candidates)
+    ]
+    assert batch.shape == (len(baselines),)
+    # bit-exact: the scalar form is defined as the B=1 view of the batch
+    assert batch.tolist() == scalar
+
+
+def test_performance_loss_batch_matches_scalar(results):
+    baselines = results[0::2]
+    candidates = results[1::2]
+    batch = performance_loss_pct_batch(
+        np.array([r.execution_time_s for r in baselines]),
+        np.array([r.execution_time_s for r in candidates]),
+    )
+    scalar = [
+        performance_loss_pct(b, c) for b, c in zip(baselines, candidates)
+    ]
+    assert batch.tolist() == scalar
+
+
+def test_metric_batch_rejects_degenerate_baselines():
+    with pytest.raises(Exception):
+        power_savings_pct_batch(np.array([0.0, 4.0]), np.array([1.0, 2.0]))
+    with pytest.raises(Exception):
+        performance_loss_pct_batch(np.array([-1.0]), np.array([1.0]))
+
+
+def test_suite_frame_column_batch_matches_per_row_access(results):
+    frame = SuiteFrame.from_results(results)
+    batch = frame.column_batch("max_temp_c")
+    assert len(batch) == len(frame)
+    for i, column in enumerate(batch):
+        np.testing.assert_array_equal(column, frame.trace_column(i, "max_temp_c"))
+    # the summary-scalar accessor stays consistent with the trace columns
+    summary = frame.column("execution_time_s")
+    assert summary.shape == (len(frame),)

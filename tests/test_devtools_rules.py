@@ -1,0 +1,289 @@
+"""Golden fixtures for every file-level lint rule.
+
+Each rule gets one seeded violation (asserting rule id and line) and one
+clean twin, so a rule that silently stops firing -- or starts flagging
+sanctioned idioms -- fails here before it ships.
+"""
+
+import textwrap
+
+from repro.devtools import LintConfig, lint_paths
+
+
+def lint_snippet(tmp_path, relpath, source, config=None):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([str(tmp_path)], config or LintConfig())
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# RPR011 builtin hash()
+# ---------------------------------------------------------------------------
+def test_rpr011_flags_builtin_hash_in_numeric_layer(tmp_path):
+    findings = lint_snippet(tmp_path, "sim/seeding.py", """\
+        def derive(spec):
+            return hash(spec) % 2**32
+    """)
+    assert rules_of(findings) == ["RPR011"]
+    assert findings[0].line == 2
+
+
+def test_rpr011_clean_crc_and_out_of_scope_hash(tmp_path):
+    findings = lint_snippet(tmp_path, "sim/seeding.py", """\
+        import zlib
+
+        def derive(payload: bytes) -> int:
+            return zlib.crc32(payload)
+    """)
+    findings += lint_snippet(tmp_path, "analysis/report.py", """\
+        def memo_key(obj):
+            return hash(obj)
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR012 wall clock
+# ---------------------------------------------------------------------------
+def test_rpr012_flags_wall_clock_reads(tmp_path):
+    findings = lint_snippet(tmp_path, "thermal/clock.py", """\
+        import time
+        from datetime import datetime
+
+        def stamp():
+            t = time.time()
+            return t, datetime.now()
+    """)
+    assert rules_of(findings) == ["RPR012", "RPR012"]
+    assert [f.line for f in findings] == [5, 6]
+
+
+def test_rpr012_clean_simulated_time(tmp_path):
+    findings = lint_snippet(tmp_path, "thermal/clock.py", """\
+        def stamp(state):
+            return state.time_s + state.dt_s
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR013 global RNG
+# ---------------------------------------------------------------------------
+def test_rpr013_flags_global_rng_calls(tmp_path):
+    findings = lint_snippet(tmp_path, "power/noise.py", """\
+        import random
+        import numpy as np
+
+        def jitter(n):
+            a = random.random()
+            b = np.random.rand(n)
+            np.random.seed(0)
+            return a, b
+    """)
+    assert rules_of(findings) == ["RPR013", "RPR013", "RPR013"]
+    assert [f.line for f in findings] == [5, 6, 7]
+
+
+def test_rpr013_clean_seeded_generator(tmp_path):
+    findings = lint_snippet(tmp_path, "power/noise.py", """\
+        import numpy as np
+
+        def jitter(n, seed):
+            rng = np.random.default_rng(seed)
+            return rng.normal(size=n)
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR014 float-literal equality
+# ---------------------------------------------------------------------------
+def test_rpr014_flags_float_literal_equality(tmp_path):
+    findings = lint_snippet(tmp_path, "core/check.py", """\
+        def saturated(duty):
+            return duty == 1.0
+    """)
+    assert rules_of(findings) == ["RPR014"]
+    assert findings[0].line == 2
+
+
+def test_rpr014_clean_tolerance_and_int_compare(tmp_path):
+    findings = lint_snippet(tmp_path, "core/check.py", """\
+        def saturated(duty, count):
+            return abs(duty - 1.0) < 1e-9 and count == 0
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR015 mutable default arguments
+# ---------------------------------------------------------------------------
+def test_rpr015_flags_mutable_defaults(tmp_path):
+    findings = lint_snippet(tmp_path, "core/args.py", """\
+        def collect(item, into=[]):
+            into.append(item)
+            return into
+
+        def index(key, table=dict()):
+            return table.setdefault(key, 0)
+    """)
+    assert rules_of(findings) == ["RPR015", "RPR015"]
+    assert [f.line for f in findings] == [1, 5]
+
+
+def test_rpr015_clean_none_default(tmp_path):
+    findings = lint_snippet(tmp_path, "core/args.py", """\
+        def collect(item, into=None):
+            into = [] if into is None else into
+            into.append(item)
+            return into
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR032 batch-axis loops in hot modules
+# ---------------------------------------------------------------------------
+def test_rpr032_flags_batch_axis_loop_in_hot_module(tmp_path):
+    findings = lint_snippet(tmp_path, "thermal/kernels.py", """\
+        def advance(batch, temps):
+            out = temps.copy()
+            for b in range(batch):
+                out[b] = out[b] * 2.0
+            return out
+    """)
+    assert rules_of(findings) == ["RPR032"]
+    assert findings[0].line == 3
+
+
+def test_rpr032_exempts_comprehensions_and_cold_modules(tmp_path):
+    findings = lint_snippet(tmp_path, "platform/state.py", """\
+        import numpy as np
+
+        def gather(boards):
+            return np.array([b.time_s for b in boards])
+    """)
+    findings += lint_snippet(tmp_path, "analysis/cold.py", """\
+        def tally(boards):
+            total = 0.0
+            for board in boards:
+                total += board.time_s
+            return total
+    """)
+    assert rules_of(findings) == []
+
+
+def test_rpr032_waiver_with_justification_suppresses(tmp_path):
+    findings = lint_snippet(tmp_path, "power/batch.py", """\
+        def writeback(boards, values):
+            for i, board in enumerate(boards):  # repro-lint: disable=RPR032 -- O(B) scatter
+                board.value = values[i]
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR041 guarded-by discipline
+# ---------------------------------------------------------------------------
+def test_rpr041_flags_unlocked_access(tmp_path):
+    findings = lint_snippet(tmp_path, "service/pool.py", """\
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # guarded-by: _lock
+
+            def depth(self):
+                return len(self._jobs)
+    """)
+    assert rules_of(findings) == ["RPR041"]
+    assert findings[0].line == 9
+
+
+def test_rpr041_clean_access_under_lock(tmp_path):
+    findings = lint_snippet(tmp_path, "service/pool.py", """\
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._jobs = {}  # guarded-by: _lock
+
+            def depth(self):
+                with self._lock:
+                    return len(self._jobs)
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR042 daemon threads without a join path
+# ---------------------------------------------------------------------------
+def test_rpr042_flags_joinless_daemon_thread(tmp_path):
+    findings = lint_snippet(tmp_path, "service/fire.py", """\
+        import threading
+
+        class FireAndForget:
+            def start(self):
+                self._t = threading.Thread(target=self._run, daemon=True)
+                self._t.start()
+
+            def _run(self):
+                pass
+    """)
+    assert rules_of(findings) == ["RPR042"]
+    assert findings[0].line == 5
+
+
+def test_rpr042_clean_thread_with_join(tmp_path):
+    findings = lint_snippet(tmp_path, "service/fire.py", """\
+        import threading
+
+        class Drained:
+            def start(self):
+                self._t = threading.Thread(target=self._run, daemon=True)
+                self._t.start()
+
+            def close(self):
+                self._t.join()
+
+            def _run(self):
+                pass
+    """)
+    assert rules_of(findings) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR001/RPR002 waiver hygiene
+# ---------------------------------------------------------------------------
+def test_rpr001_flags_unknown_rule_in_waiver(tmp_path):
+    findings = lint_snippet(tmp_path, "sim/w.py", """\
+        x = 1  # repro-lint: disable=RPR999 -- no such rule
+    """)
+    assert rules_of(findings) == ["RPR001"]
+    assert findings[0].severity == "error"
+
+
+def test_rpr002_flags_unused_waiver(tmp_path):
+    findings = lint_snippet(tmp_path, "sim/w.py", """\
+        x = 1  # repro-lint: disable=RPR011 -- nothing here triggers it
+    """)
+    assert rules_of(findings) == ["RPR002"]
+    assert findings[0].severity == "warning"
+
+
+def test_waiver_suppresses_only_named_rule(tmp_path):
+    findings = lint_snippet(tmp_path, "sim/w.py", """\
+        import time
+
+        def stamp():
+            return hash(time.time())  # repro-lint: disable=RPR011 -- fixture
+    """)
+    # RPR011 waived; the RPR012 wall-clock finding on the same line stays
+    assert rules_of(findings) == ["RPR012"]
