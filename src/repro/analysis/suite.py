@@ -20,6 +20,7 @@ existing cache directory.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,7 +31,13 @@ from repro.analysis.stats import (
     stability_stats_batch,
 )
 from repro.errors import SimulationError
-from repro.runner.cache import ARTIFACT_FORMAT, ResultCache
+from repro.runner.cache import (
+    ARTIFACT_FORMAT,
+    SUMMARY_COUNT_FIELDS,
+    SUMMARY_FLOAT_FIELDS,
+    ResultCache,
+    summary_row,
+)
 from repro.runner.spec import RunSpec
 from repro.sim.metrics import (
     performance_loss_pct_batch,
@@ -39,19 +46,10 @@ from repro.sim.metrics import (
 from repro.sim.run_result import RunResult, rows_to_matrix
 
 #: Scalar summary fields gathered into float64 columns.
-FLOAT_FIELDS = (
-    "execution_time_s",
-    "average_platform_power_w",
-    "energy_j",
-)
+FLOAT_FIELDS = SUMMARY_FLOAT_FIELDS
 
 #: Counter summary fields gathered into int64 columns.
-COUNT_FIELDS = (
-    "interventions",
-    "violations_predicted",
-    "cluster_migrations",
-    "cores_offlined",
-)
+COUNT_FIELDS = SUMMARY_COUNT_FIELDS
 
 #: A zero-argument callable producing one run's (rows, columns) matrix.
 TraceLoader = Callable[[], np.ndarray]
@@ -157,19 +155,36 @@ class SuiteFrame:
         keys: Optional[Sequence[str]] = None,
         mmap: bool = True,
         specs: Optional[Sequence[RunSpec]] = None,
+        use_index: bool = True,
     ) -> "SuiteFrame":
         """Frame over cached entries; traces stay on disk until touched.
 
         ``keys=None`` opens every readable entry of the cache directory
-        (deterministic key order).  v2 entries contribute their summary
-        JSON now and a lazily *memory-mapped* trace blob later; legacy v1
-        entries (trace rows inline in the JSON) decode their matrix on
-        first touch -- nothing smaller exists on disk for them.  With
-        explicit ``keys``, a missing or corrupt entry raises; the
-        directory walk skips unreadable debris instead.
+        (deterministic key order) -- by default through the per-shard
+        index (:meth:`~repro.runner.ResultCache.frame_chunks`): fully-v2
+        shards come back as pre-extracted *columnar* frame files, so a
+        warm 100k-entry store opens with a few hundred reads and no
+        per-entry work at all; ``use_index=False`` forces the per-entry
+        walk (same rows, same order).  v2 entries contribute their
+        summary JSON now and a lazily *memory-mapped* trace blob later;
+        legacy v1 entries (trace rows inline in the JSON) decode their
+        matrix on first touch -- nothing smaller exists on disk for
+        them.  With explicit ``keys``, a missing or corrupt entry
+        raises; the directory walk skips unreadable debris instead.
         """
         explicit = keys is not None
-        keys = list(keys) if explicit else cache.keys()
+        if not explicit and use_index and specs is None:
+            return cls._from_chunks(cache, mmap)
+        pairs: List[Tuple[str, Optional[dict]]]
+        if explicit:
+            keys = list(keys)
+            pairs = [(key, cache.load_summary(key)) for key in keys]
+        elif use_index:
+            pairs = list(cache.indexed_summaries())
+            keys = [key for key, _ in pairs]
+        else:
+            keys = cache.keys()
+            pairs = [(key, cache.load_summary(key)) for key in keys]
         if specs is not None and len(specs) != len(keys):
             raise SimulationError(
                 "%d specs for %d cache keys" % (len(specs), len(keys))
@@ -184,56 +199,37 @@ class SuiteFrame:
         loaders: List[TraceLoader] = []
         kept: List[str] = []
         kept_specs: List[RunSpec] = []
-        for i, key in enumerate(keys):
-            payload = cache.load_summary(key)
+        for i, (key, payload) in enumerate(pairs):
             if payload is None:
                 if explicit:
                     raise SimulationError(
                         "cache entry %s is missing or unreadable" % key
                     )
                 continue
-            try:
-                meta = payload["trace"]
-                for field in FLOAT_FIELDS:
-                    rows[field].append(float(payload[field]))
-                for field in COUNT_FIELDS:
-                    rows[field].append(int(payload[field]))
-                benchmarks.append(payload["benchmark"])
-                modes.append(payload["mode"])
-                completed.append(bool(payload["completed"]))
-                trace_columns.append(list(meta["columns"]))
-            except (KeyError, TypeError, ValueError):
-                # roll back the partially appended row
-                del benchmarks[len(kept):]
-                del modes[len(kept):]
-                del completed[len(kept):]
-                del trace_columns[len(kept):]
-                for field in rows:
-                    del rows[field][len(kept):]
+            row = summary_row(payload)
+            if row is None:
                 if explicit:
                     raise SimulationError(
                         "cache entry %s has a malformed summary" % key
-                    ) from None
+                    )
                 continue
+            floats, counts, benchmark, mode, done, columns = row
+            for field, value in zip(FLOAT_FIELDS, floats):
+                rows[field].append(value)
+            for field, value in zip(COUNT_FIELDS, counts):
+                rows[field].append(value)
+            benchmarks.append(benchmark)
+            modes.append(mode)
+            completed.append(done)
+            trace_columns.append(columns)
             loaders.append(_cache_loader(cache, key, payload, mmap))
             kept.append(key)
             if specs is not None:
                 kept_specs.append(specs[i])
-        scalars = {
-            field: np.array(rows[field], dtype=float)
-            for field in FLOAT_FIELDS
-        }
-        scalars.update(
-            {
-                field: np.array(rows[field], dtype=np.int64)
-                for field in COUNT_FIELDS
-            }
-        )
-        scalars["completed"] = np.array(completed, dtype=bool)
         return cls(
             benchmarks=benchmarks,
             modes=modes,
-            scalars=scalars,
+            scalars=_scalar_columns(rows, completed),
             trace_columns=trace_columns,
             trace_loaders=loaders,
             keys=kept,
@@ -241,10 +237,74 @@ class SuiteFrame:
         )
 
     @classmethod
-    def open_dir(cls, root: str, mmap: bool = True) -> "SuiteFrame":
+    def _from_chunks(cls, cache: ResultCache, mmap: bool) -> "SuiteFrame":
+        """Whole-directory open through the per-shard columnar chunks.
+
+        ``("cols", ...)`` chunks splice straight into the column lists
+        (C-speed extends, one cheap loader closure per row); ``("rows",
+        ...)`` chunks -- shards still holding v1 or malformed entries --
+        extract row by row under the exact :func:`summary_row` rule the
+        walk path applies, so both paths keep identical rows.
+        """
+        benchmarks: List[str] = []
+        modes: List[str] = []
+        rows: Dict[str, List] = {
+            field: [] for field in FLOAT_FIELDS + COUNT_FIELDS
+        }
+        completed: List[bool] = []
+        trace_columns: List[List[str]] = []
+        loaders: List[TraceLoader] = []
+        kept: List[str] = []
+        for kind, chunk in cache.frame_chunks():
+            if kind == "cols":
+                chunk_keys = chunk["keys"]
+                kept.extend(chunk_keys)
+                benchmarks.extend(chunk["benchmark"])
+                modes.extend(chunk["mode"])
+                completed.extend(chunk["completed"])
+                for field in FLOAT_FIELDS + COUNT_FIELDS:
+                    rows[field].extend(chunk[field])
+                tables = chunk["trace_columns"]
+                trace_columns.extend(
+                    tables[i] for i in chunk["trace_col_idx"]
+                )
+                loaders.extend(
+                    _v2_loader(cache, key, mmap) for key in chunk_keys
+                )
+                continue
+            for key, payload in chunk:
+                row = summary_row(payload)
+                if row is None:
+                    continue
+                floats, counts, benchmark, mode, done, columns = row
+                for field, value in zip(FLOAT_FIELDS, floats):
+                    rows[field].append(value)
+                for field, value in zip(COUNT_FIELDS, counts):
+                    rows[field].append(value)
+                benchmarks.append(benchmark)
+                modes.append(mode)
+                completed.append(done)
+                trace_columns.append(columns)
+                loaders.append(_cache_loader(cache, key, payload, mmap))
+                kept.append(key)
+        return cls(
+            benchmarks=benchmarks,
+            modes=modes,
+            scalars=_scalar_columns(rows, completed),
+            trace_columns=trace_columns,
+            trace_loaders=loaders,
+            keys=kept,
+        )
+
+    @classmethod
+    def open_dir(
+        cls, root: str, mmap: bool = True, use_index: bool = True
+    ) -> "SuiteFrame":
         """Frame over every entry of an on-disk cache directory."""
         return cls.from_cache(
-            ResultCache(root=root, memory=False), mmap=mmap
+            ResultCache(root=root, memory=False),
+            mmap=mmap,
+            use_index=use_index,
         )
 
     # ------------------------------------------------------------------
@@ -468,12 +528,35 @@ class SuiteFrame:
         }
 
 
+def _scalar_columns(
+    rows: Dict[str, List], completed: Sequence[bool]
+) -> Dict[str, np.ndarray]:
+    """Materialise accumulated per-field lists as frame column arrays."""
+    scalars = {
+        field: np.array(rows[field], dtype=float)
+        for field in FLOAT_FIELDS
+    }
+    scalars.update(
+        {
+            field: np.array(rows[field], dtype=np.int64)
+            for field in COUNT_FIELDS
+        }
+    )
+    scalars["completed"] = np.array(completed, dtype=bool)
+    return scalars
+
+
+def _v2_loader(cache: ResultCache, key: str, mmap: bool) -> TraceLoader:
+    """Lazy memmap handle over one v2 entry's on-disk trace blob."""
+    return partial(cache.open_trace, key, mmap)
+
+
 def _cache_loader(
     cache: ResultCache, key: str, payload: dict, mmap: bool
 ) -> TraceLoader:
     """Lazy trace handle for one cached entry (memmap for v2, decode for v1)."""
     if payload.get("artifact") == ARTIFACT_FORMAT:
-        return lambda: cache.open_trace(key, mmap=mmap)
+        return _v2_loader(cache, key, mmap)
     columns = payload["trace"]["columns"]
     rows = payload["trace"]["rows"]
 

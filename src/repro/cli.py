@@ -12,11 +12,15 @@ Subcommands::
     python -m repro.cli matrix             # benchmarks x modes grid
     python -m repro.cli cache stats        # inspect the result cache
     python -m repro.cli cache prune        # bound / empty the result cache
+    python -m repro.cli cache migrate      # reshard/recompress the store
     python -m repro.cli report             # cache-aware markdown report
     python -m repro.cli serve              # always-on evaluation service
+    python -m repro.cli worker             # remote batch-execution worker
 
 ``suite``, ``sweep``, ``matrix`` and ``report`` accept ``--workers N`` (process
-fan-out), ``--batch B`` (how many compatible runs one worker advances per
+fan-out; a ``host:port,host:port`` list instead dispatches batches to
+remote ``repro-dtpm worker`` processes with byte-identical results),
+``--batch B`` (how many compatible runs one worker advances per
 control step; defaults to ``$REPRO_BATCH`` or 8) and ``--cache-dir DIR``
 (content-addressed result cache; defaults to ``$REPRO_CACHE_DIR`` when
 set), so repeated invocations are near-free.
@@ -48,6 +52,7 @@ from repro.runner import (
     cached_build_models,
     default_cache_dir,
     disk_usage,
+    migrate,
     prune,
 )
 from repro.sim.engine import ThermalMode
@@ -110,10 +115,25 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _workers_arg(text: str):
+    """``--workers``: a process count or a remote worker endpoint list."""
+    if ":" in text:
+        from repro.distributed.protocol import parse_endpoints
+
+        try:
+            parse_endpoints(text)
+        except ConfigurationError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        return text
+    return _positive_int(text)
+
+
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--workers", type=_positive_int, default=1,
-        help="process count for parallel fan-out (default: serial)")
+        "--workers", type=_workers_arg, default=1,
+        help="process count for parallel fan-out (default: serial), or a "
+             "host:port,host:port list of repro-dtpm worker processes to "
+             "dispatch batches to (byte-identical results either way)")
     parser.add_argument(
         "--batch", type=_positive_int, default=None,
         help="runs one worker advances per control step (default: "
@@ -390,7 +410,7 @@ def _cmd_matrix(args) -> int:
         args, models=_load_models(args) if needs_models else None
     )
     print(
-        "Running a %dx%d experiment matrix (%d runs, %d workers)..."
+        "Running a %dx%d experiment matrix (%d runs, %s workers)..."
         % (len(benchmarks) + len(schedules), len(modes), len(matrix),
            args.workers)
     )
@@ -472,6 +492,27 @@ def _cmd_cache_prune(args) -> int:
     return 0
 
 
+def _cmd_cache_migrate(args) -> int:
+    root = _cache_root(args)
+    if root is None:
+        return 2
+    if not os.path.isdir(root):
+        print(
+            "error: no cache directory at %s (nothing to migrate)" % root,
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        stats = migrate(root, fanout=args.fanout, compress=args.compress)
+    except ConfigurationError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print("migrated cache at %s to fanout=%d" % (root, args.fanout))
+    print("  " + stats.summary())
+    print("  now: " + disk_usage(root).summary())
+    return 0
+
+
 def _cmd_suite_summarize(args) -> int:
     from repro.analysis.suite import summarize_dir
 
@@ -531,7 +572,14 @@ def _cmd_serve(args) -> int:
         port=args.port,
         workers=args.workers,
         batch=args.batch,
+        dispatch=args.dispatch,
     )
+
+
+def _cmd_worker(args) -> int:
+    from repro.distributed.worker import run_worker
+
+    return run_worker(host=args.host, port=args.port)
 
 
 def _cmd_lint(args) -> int:
@@ -650,6 +698,24 @@ def build_parser() -> argparse.ArgumentParser:
     bound.add_argument("--all", action="store_true",
                        help="remove every result entry (models are kept)")
     p_cprune.set_defaults(func=_cmd_cache_prune)
+    p_cmig = cache_sub.add_parser(
+        "migrate",
+        help="reshard the store in place (copy-then-unlink per entry: "
+             "idempotent, interrupt-safe, readable throughout) and "
+             "optionally transcode trace blobs",
+    )
+    p_cmig.add_argument("--cache-dir", default=default_cache_dir(),
+                        help="cache directory (default: $REPRO_CACHE_DIR)")
+    p_cmig.add_argument("--fanout", type=int, choices=(1, 2), default=2,
+                        help="target shard depth: 2 = <root>/ab/cd/ "
+                             "(default, scales to ~100k+ entries), "
+                             "1 = the flat <root>/ab/ layout")
+    p_cmig.add_argument("--compress", default=None,
+                        choices=("deflate", "zstd", "none"),
+                        help="transcode trace blobs: deflate (stdlib), "
+                             "zstd (needs the zstandard package) or none "
+                             "(plain npz); default keeps each blob as-is")
+    p_cmig.set_defaults(func=_cmd_cache_migrate)
 
     p_rep = sub.add_parser(
         "report",
@@ -689,7 +755,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache directory the service persists "
                             "to (default: $REPRO_CACHE_DIR; without one "
                             "results live in memory only)")
+    p_srv.add_argument("--dispatch", default=None, metavar="HOST:PORT,...",
+                       help="remote repro-dtpm worker endpoints cold jobs "
+                            "dispatch their batches to (results and cache "
+                            "writes are byte-identical to local execution)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_wrk = sub.add_parser(
+        "worker",
+        help="start a remote batch-execution worker: a coordinator "
+             "(ParallelRunner(workers=\"host:port,...\") or serve "
+             "--dispatch) ships it spec batches over TCP and it answers "
+             "with byte-identical results; it never touches the cache",
+    )
+    p_wrk.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    p_wrk.add_argument("--port", type=int, default=8970,
+                       help="bind port (default: 8970; 0 picks a free one)")
+    p_wrk.set_defaults(func=_cmd_worker)
 
     from repro.devtools.cli import add_lint_arguments
 

@@ -1,0 +1,27 @@
+"""Distributed batch execution over a length-prefixed JSON/TCP protocol.
+
+The package splits the :class:`~repro.runner.ParallelRunner`'s unit of
+work -- one :func:`~repro.runner.execute.plan_batches` job -- across
+remote worker processes:
+
+* :mod:`repro.distributed.protocol` -- the framing (4-byte big-endian
+  length prefix + UTF-8 JSON) and the batch/result codecs, reusing the
+  versioned :mod:`repro.runner.wire` spec rendering so a shipped spec's
+  content key is identical on every host;
+* :mod:`repro.distributed.worker` -- the ``repro-dtpm worker`` body: a
+  :class:`~socketserver.ThreadingTCPServer` that executes shipped
+  batches through :func:`~repro.runner.execute.execute_batch` (the very
+  code path the in-process pool workers run) and heartbeats while a
+  batch is in flight;
+* :mod:`repro.distributed.coordinator` -- the dispatch side: per-worker
+  connection threads *pull* batches from one shared deterministic queue
+  (work stealing), lease each batch against a heartbeat-refreshed
+  timeout, and requeue batches whose worker died, so an N-worker run is
+  key-for-key and byte-identical to a 1-host run.
+
+Submodules are imported lazily by their consumers (``ParallelRunner``
+only touches the coordinator when ``workers`` is an endpoint string), so
+importing :mod:`repro.runner` never drags the socket layer in.
+"""
+
+__all__ = ["coordinator", "protocol", "worker"]

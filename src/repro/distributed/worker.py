@@ -1,0 +1,193 @@
+"""The remote batch worker (the ``repro-dtpm worker`` body).
+
+A :class:`WorkerServer` accepts coordinator connections, receives
+batches of wire-schema specs and executes them through
+:func:`~repro.runner.execute.execute_batch` -- the exact function the
+in-process pool workers run (``batch_size=len(specs)``), which is what
+keeps a distributed run lane-for-lane byte-identical to a local one.
+
+While a batch executes, a per-connection heartbeat thread streams
+``{"op": "heartbeat"}`` frames so the coordinator can tell a slow batch
+from a dead worker; socket writes are serialised by a per-connection
+lock.  Workers never touch the result cache: results travel back over
+the wire and the coordinator's runner is the only cache writer, so a
+crashed or duplicated worker can never leave partial store state.
+
+``fail_runs=N`` makes the server drop the connection on its next ``N``
+``run`` frames *instead of* answering -- the crash-mid-batch hook the
+reassignment tests (and chaos drills) use.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.distributed.protocol import (
+    ProtocolError,
+    chains_to_wire,
+    models_from_hello,
+    recv_frame,
+    send_frame,
+    specs_from_run,
+)
+from repro.runner.execute import execute_batch
+
+#: Seconds between heartbeat frames while a batch is executing.  The
+#: coordinator's lease timeout must comfortably exceed this.
+HEARTBEAT_INTERVAL_S = 1.0
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One coordinator connection: hello, then run frames until bye/EOF."""
+
+    server: "WorkerServer"
+
+    def handle(self) -> None:
+        sock: socket.socket = self.request
+        send_lock = threading.Lock()
+        try:
+            hello = recv_frame(sock)
+            if hello.get("op") != "hello":
+                raise ProtocolError(
+                    "expected hello, got %r" % hello.get("op")
+                )
+            models = models_from_hello(hello)
+            with send_lock:
+                send_frame(sock, {"op": "ready"})
+            while True:
+                msg = recv_frame(sock)
+                op = msg.get("op")
+                if op == "bye":
+                    return
+                if op != "run":
+                    raise ProtocolError("expected run/bye, got %r" % op)
+                job_id, specs = specs_from_run(msg)
+                if self.server.take_failure():
+                    # simulated crash mid-batch: the batch was accepted
+                    # but no reply (and no heartbeat) will ever come
+                    sock.shutdown(socket.SHUT_RDWR)
+                    return
+                stop = threading.Event()
+                beat = threading.Thread(
+                    target=self._heartbeat,
+                    args=(sock, send_lock, job_id, stop),
+                    name="repro-worker-heartbeat",
+                    daemon=True,
+                )
+                beat.start()
+                try:
+                    chains = execute_batch(
+                        specs, models=models, batch_size=max(1, len(specs))
+                    )
+                except Exception as exc:  # noqa: BLE001 - report, stay alive
+                    stop.set()
+                    beat.join()
+                    with send_lock:
+                        send_frame(sock, {
+                            "op": "error",
+                            "id": job_id,
+                            "message": "%s: %s" % (type(exc).__name__, exc),
+                        })
+                    continue
+                stop.set()
+                beat.join()
+                with send_lock:
+                    send_frame(sock, {
+                        "op": "done",
+                        "id": job_id,
+                        "chains": chains_to_wire(chains),
+                    })
+        except (ProtocolError, OSError):
+            return  # peer vanished or spoke garbage: drop the connection
+
+    @staticmethod
+    def _heartbeat(
+        sock: socket.socket,
+        send_lock: threading.Lock,
+        job_id: int,
+        stop: threading.Event,
+    ) -> None:
+        while not stop.wait(HEARTBEAT_INTERVAL_S):
+            try:
+                with send_lock:
+                    send_frame(sock, {"op": "heartbeat", "id": job_id})
+            except OSError:
+                return  # coordinator gone; the main loop will notice too
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """A threaded TCP worker executing coordinator batches.
+
+    ``port=0`` binds a free port (see :attr:`address`).  One server
+    handles any number of sequential coordinator sessions; concurrent
+    connections each get their own handler thread (and their own model
+    bundle, shipped in the hello frame).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fail_runs: int = 0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self._fail_lock = threading.Lock()
+        self._fail_runs = int(fail_runs)  # guarded-by: _fail_lock
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- port resolved when 0 was requested."""
+        host, port = self.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        """This worker as a ``host:port`` token for a coordinator list."""
+        return "%s:%d" % self.address
+
+    def take_failure(self) -> bool:
+        """Consume one scheduled crash (the ``fail_runs`` test hook)."""
+        with self._fail_lock:
+            if self._fail_runs > 0:
+                self._fail_runs -= 1
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerServer":
+        """Serve on a background thread; returns self (tests/embedding)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-worker", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the background thread (if one runs)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+def run_worker(host: str = "127.0.0.1", port: int = 8970) -> int:
+    """Run a worker in the foreground (the ``repro-dtpm worker`` body)."""
+    server = WorkerServer(host=host, port=port)
+    print("repro-dtpm worker on %s:%d" % server.address)
+    print("  executes coordinator batches via execute_batch; Ctrl-C stops")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nbye")
+    finally:
+        server.server_close()
+    return 0

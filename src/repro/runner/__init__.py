@@ -18,17 +18,21 @@ from repro.runner.cache import (
     CACHE_DIR_ENV,
     CacheStats,
     DiskUsage,
+    MigrateStats,
     ResultCache,
     TRACE_BLOB_SUFFIX,
+    available_codecs,
     default_cache_dir,
     disk_usage,
     load_trace_blob,
+    migrate,
     payload_bytes,
     payload_to_result,
     prune,
     result_bytes,
     result_to_payload,
     result_to_summary,
+    store_depth,
     summary_to_result,
     trace_blob_bytes,
 )
@@ -86,10 +90,14 @@ __all__ = [
     "WIRE_SCHEMA",
     "CacheStats",
     "DiskUsage",
+    "MigrateStats",
     "TRACE_BLOB_SUFFIX",
+    "available_codecs",
     "build_simulator",
     "default_batch",
     "disk_usage",
+    "migrate",
+    "store_depth",
     "execute_batch",
     "execute_schedule",
     "execute_schedules",

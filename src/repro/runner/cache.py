@@ -1,8 +1,16 @@
 """Content-addressed result cache for closed-loop runs.
 
-Entries live under ``<root>/<key[:2]>/`` where ``key`` is the
-:func:`repro.runner.spec.spec_key` of the experiment.  Two artifact
-layouts coexist:
+Entries live under ``<root>/<key[:2]>/`` (the *flat* layout, depth 1) or
+``<root>/<key[:2]>/<key[2:4]>/`` (the *sharded* layout, depth 2 -- 65536
+fan-out directories for ~100k+ run stores) where ``key`` is the
+:func:`repro.runner.spec.spec_key` of the experiment.  A store's write
+depth is recorded in a ``.layout.json`` marker; **reads always probe
+both depths**, so a depth-2 writer reads a legacy flat store
+transparently and vice versa, and ``repro-dtpm cache migrate`` can
+reshard a live store in place (copy-then-unlink per entry, re-runnable
+after an interruption).
+
+Two artifact layouts coexist:
 
 * **v1** (legacy): one ``<key>.json`` holding the whole result including
   every trace row as canonical JSON.  Still read transparently; no new
@@ -14,11 +22,26 @@ layouts coexist:
   is a single binary read (or a memory map via ``mmap=True``) and the
   round trip is numerically exact by construction.
 
+Trace blobs may optionally be stored *compressed* (``compress="deflate"``
+via stdlib zlib, suffix ``.npz.z``; ``compress="zstd"`` via the optional
+``zstandard`` package, suffix ``.npz.zst``).  Compression never changes
+a result: the blob decompresses to the exact npz bytes an uncompressed
+store would hold.  Memory-mapped readers *rehydrate* a compressed blob
+on first touch -- decompress to the uncompressed ``.npz`` beside the
+summary, drop the compressed file, then map -- so ``mmap=True`` keeps
+its lazy-pages property at the cost of one write per first touch.
+
+Bulk readers (:meth:`ResultCache.indexed_summaries`, feeding
+``SuiteFrame.open_dir``) ride a per-shard *pack index* under
+``<root>/.index/``: one JSON file per top-level shard holding every v2
+summary payload, validated against the shard directories' mtimes -- a
+warm 100k-entry store opens with ~256 reads instead of ~100k.
+
 The v1 JSON rendering remains the canonical *byte-identity* unit
 (:func:`result_bytes`): deterministic (sorted keys, repr-round-tripped
 floats), so two equal :class:`RunResult` objects serialise to
 byte-identical payloads -- which is also how the test-suite checks
-serial, parallel and cached execution agree.
+serial, parallel, distributed and cached execution agree.
 
 A cache without a root directory is an in-process memo (used by the
 benchmark harness when ``REPRO_CACHE_DIR`` is unset); with a root it
@@ -36,13 +59,19 @@ import tempfile
 import threading
 import time
 import zipfile
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.run_result import RunResult, TraceRecorder, rows_to_matrix
+
+try:  # optional dependency: gated, never required
+    import zstandard as _zstandard  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised where zstd is absent
+    _zstandard = None
 
 #: Environment variable pointing the default cache at a shared directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -55,6 +84,68 @@ TRACE_BLOB_SUFFIX = ".npz"
 
 #: Name of the trace matrix inside the npz container.
 TRACE_MEMBER = "data"
+
+#: Blob codec -> on-disk suffix of the compressed trace blob.
+CODEC_SUFFIXES: Dict[str, str] = {
+    "deflate": ".npz.z",
+    "zstd": ".npz.zst",
+}
+
+#: Every suffix a trace blob may carry, longest (most specific) first.
+BLOB_SUFFIXES: Tuple[str, ...] = (
+    CODEC_SUFFIXES["zstd"],
+    CODEC_SUFFIXES["deflate"],
+    TRACE_BLOB_SUFFIX,
+)
+
+#: Name of the store-layout marker file under the cache root.
+LAYOUT_MARKER = ".layout.json"
+
+#: Directory (under the root) holding the per-shard pack index files.
+PACK_DIR = ".index"
+
+#: Version tag of the pack-index payload.
+PACK_FORMAT = 1
+
+#: Version tag of the per-shard columnar frame file payload.
+FRAME_FORMAT = 1
+
+#: Scalar summary fields analytics gathers into float64 columns.
+SUMMARY_FLOAT_FIELDS: Tuple[str, ...] = (
+    "execution_time_s",
+    "average_platform_power_w",
+    "energy_j",
+)
+
+#: Counter summary fields analytics gathers into int64 columns.
+SUMMARY_COUNT_FIELDS: Tuple[str, ...] = (
+    "interventions",
+    "violations_predicted",
+    "cluster_migrations",
+    "cores_offlined",
+)
+
+
+def summary_row(payload: dict) -> Optional[tuple]:
+    """One summary payload as frame-row fields, or None if malformed.
+
+    The single extraction rule shared by :class:`SuiteFrame`'s row loop
+    and the per-shard frame files, so both open paths keep or skip
+    exactly the same entries.  Returns ``(floats, counts, benchmark,
+    mode, completed, trace_columns)``.
+    """
+    try:
+        columns = list(payload["trace"]["columns"])
+        return (
+            [float(payload[f]) for f in SUMMARY_FLOAT_FIELDS],
+            [int(payload[f]) for f in SUMMARY_COUNT_FIELDS],
+            payload["benchmark"],
+            payload["mode"],
+            bool(payload["completed"]),
+            columns,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def result_to_payload(result: RunResult) -> dict:
@@ -173,6 +264,62 @@ def trace_blob_bytes(result: RunResult) -> bytes:
     return buf.getvalue()
 
 
+# ---------------------------------------------------------------------------
+# optional blob compression (deflate via stdlib zlib; zstd when available)
+# ---------------------------------------------------------------------------
+def available_codecs() -> Tuple[str, ...]:
+    """Blob codecs this interpreter can actually use."""
+    codecs = ["deflate"]
+    if _zstandard is not None:
+        codecs.append("zstd")
+    return tuple(codecs)
+
+
+def _check_codec(codec: str) -> None:
+    if codec not in CODEC_SUFFIXES:
+        raise ConfigurationError(
+            "unknown blob codec %r (choose from %s)"
+            % (codec, ", ".join(sorted(CODEC_SUFFIXES)))
+        )
+    if codec == "zstd" and _zstandard is None:
+        raise ConfigurationError(
+            "blob codec 'zstd' needs the optional zstandard package "
+            "(not installed); use 'deflate' or install zstandard"
+        )
+
+
+def compress_blob(data: bytes, codec: str) -> bytes:
+    """Compress raw npz blob bytes with one of :data:`CODEC_SUFFIXES`."""
+    _check_codec(codec)
+    if codec == "deflate":
+        return zlib.compress(data, 6)
+    return _zstandard.ZstdCompressor().compress(data)
+
+
+def decompress_blob(data: bytes, codec: str) -> bytes:
+    """Invert :func:`compress_blob`."""
+    _check_codec(codec)
+    if codec == "deflate":
+        return zlib.decompress(data)
+    return _zstandard.ZstdDecompressor().decompress(data)
+
+
+def _blob_codec(path: str) -> Optional[str]:
+    """The codec a blob path's suffix implies (None = uncompressed)."""
+    for codec, suffix in CODEC_SUFFIXES.items():
+        if path.endswith(suffix):
+            return codec
+    return None
+
+
+def _blob_key(name: str) -> Optional[str]:
+    """The entry key a blob file name encodes, or None for other files."""
+    for suffix in BLOB_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return None
+
+
 def _mmap_npz_member(path: str, name: str) -> np.ndarray:
     """Memory-map one *stored* (uncompressed) member of an npz file.
 
@@ -212,7 +359,19 @@ def _mmap_npz_member(path: str, name: str) -> np.ndarray:
 
 
 def load_trace_blob(path: str, mmap: bool = False) -> np.ndarray:
-    """Load (or memory-map) the trace matrix of a v2 blob file."""
+    """Load (or memory-map) the trace matrix of a v2 blob file.
+
+    Compressed blobs (``.npz.z`` / ``.npz.zst``) decompress in memory;
+    memory-mapping them goes through
+    :meth:`ResultCache.open_trace`, which rehydrates the uncompressed
+    file first so the map has real bytes to point at.
+    """
+    codec = _blob_codec(path)
+    if codec is not None:
+        with open(path, "rb") as fh:
+            raw = decompress_blob(fh.read(), codec)
+        with np.load(io.BytesIO(raw)) as npz:
+            return npz[TRACE_MEMBER]
     if mmap:
         try:
             return _mmap_npz_member(path, TRACE_MEMBER + ".npy")
@@ -227,6 +386,38 @@ def default_cache_dir() -> Optional[str]:
     """The shared cache directory, if ``REPRO_CACHE_DIR`` names one."""
     path = os.environ.get(CACHE_DIR_ENV, "").strip()
     return path or None
+
+
+# ---------------------------------------------------------------------------
+# store layout (shard depth) marker
+# ---------------------------------------------------------------------------
+def store_depth(root: str) -> int:
+    """The shard depth a store's ``.layout.json`` marker declares (1 or 2).
+
+    A missing or unreadable marker means the legacy single-level layout
+    (depth 1) -- every store written before the marker existed.
+    """
+    try:
+        with open(os.path.join(root, LAYOUT_MARKER), "rb") as fh:
+            payload = json.loads(fh.read().decode("utf-8"))
+        depth = int(payload["depth"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return 1
+    return depth if depth in (1, 2) else 1
+
+
+def _write_layout_marker(root: str, depth: int) -> None:
+    os.makedirs(root, exist_ok=True)
+    ResultCache._atomic_write(
+        os.path.join(root, LAYOUT_MARKER),
+        payload_bytes({"depth": depth}),
+    )
+
+
+def _entry_dir(root: str, key: str, depth: int) -> str:
+    if depth == 2:
+        return os.path.join(root, key[:2], key[2:4])
+    return os.path.join(root, key[:2])
 
 
 @dataclass
@@ -245,6 +436,17 @@ class ResultCache:
     them eagerly -- suite-scale consumers that only touch a column or two
     of each trace then never pull whole blobs into memory.  Mapped traces
     are read-only views; appending to them copies first.
+
+    ``fanout`` picks the shard depth new entries are written at: ``1``
+    (``<root>/ab/``, the legacy flat layout), ``2`` (``<root>/ab/cd/``),
+    or ``None`` (default) to adopt whatever the store's layout marker
+    declares.  Reads always probe both depths, so mixed and mid-migration
+    stores stay fully readable.
+
+    ``compress`` writes new trace blobs through a codec (``"deflate"``
+    via stdlib zlib or ``"zstd"`` when the zstandard package is
+    installed); reads handle any mix of compressed and plain blobs
+    regardless of this setting.
     """
 
     def __init__(
@@ -252,6 +454,8 @@ class ResultCache:
         root: Optional[str] = None,
         memory: bool = True,
         mmap: bool = False,
+        fanout: Optional[int] = None,
+        compress: Optional[str] = None,
     ) -> None:
         if root is None and not memory:
             raise SimulationError(
@@ -260,6 +464,18 @@ class ResultCache:
         self.root = (
             os.path.abspath(os.path.expanduser(root)) if root else None
         )
+        if fanout is None:
+            depth = store_depth(self.root) if self.root is not None else 1
+        elif fanout in (1, 2):
+            depth = int(fanout)
+        else:
+            raise ConfigurationError(
+                "fanout must be 1 (flat) or 2 (sharded), got %r" % (fanout,)
+            )
+        self.depth = depth
+        if compress is not None:
+            _check_codec(compress)
+        self.compress = compress
         self.mmap = mmap
         self._lock = threading.Lock()
         # decoded results, so repeated in-process hits skip JSON parsing
@@ -269,6 +485,7 @@ class ResultCache:
             {} if memory else None
         )
         self.stats = CacheStats()  # guarded-by: _lock
+        self._marker_written = False  # guarded-by: _lock
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -277,17 +494,84 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
+        """The summary path at this cache's *write* depth."""
         assert self.root is not None
-        return os.path.join(self.root, key[:2], key + ".json")
+        return os.path.join(
+            _entry_dir(self.root, key, self.depth), key + ".json"
+        )
 
     def _blob_path(self, key: str) -> str:
+        """The blob path (write depth + configured codec suffix)."""
         assert self.root is not None
-        return os.path.join(self.root, key[:2], key + TRACE_BLOB_SUFFIX)
+        suffix = (
+            CODEC_SUFFIXES[self.compress]
+            if self.compress is not None
+            else TRACE_BLOB_SUFFIX
+        )
+        return os.path.join(
+            _entry_dir(self.root, key, self.depth), key + suffix
+        )
 
-    def _load_disk(self, key: str) -> Optional[RunResult]:
+    def _probe_dirs(self, key: str) -> List[str]:
+        """Candidate entry directories, write depth first."""
+        assert self.root is not None
+        dirs = [_entry_dir(self.root, key, self.depth)]
+        other = _entry_dir(self.root, key, 3 - self.depth)
+        dirs.append(other)
+        return dirs
+
+    def _find_summary(self, key: str) -> Optional[str]:
+        """The existing summary path for ``key`` at either depth."""
         if self.root is None:
             return None
-        path = self._path(key)
+        for base in self._probe_dirs(key):
+            path = os.path.join(base, key + ".json")
+            if os.path.exists(path):
+                return path
+        return None
+
+    def _find_blob(self, key: str) -> Optional[str]:
+        """The existing trace blob for ``key``: any depth, plain first."""
+        if self.root is None:
+            return None
+        for base in self._probe_dirs(key):
+            for suffix in (TRACE_BLOB_SUFFIX,) + tuple(
+                CODEC_SUFFIXES.values()
+            ):
+                path = os.path.join(base, key + suffix)
+                if os.path.exists(path):
+                    return path
+        return None
+
+    def _read_trace(self, key: str, mmap: bool) -> np.ndarray:
+        """One entry's trace matrix, rehydrating compressed blobs for maps.
+
+        A compressed blob read with ``mmap=True`` is decompressed to the
+        plain ``.npz`` beside its summary (atomic write), the compressed
+        file is dropped, and the fresh file is mapped -- decompression
+        on first touch, every later read maps directly.  Non-mapped
+        reads decompress in memory and leave the store as-is.
+        """
+        path = self._find_blob(key)
+        if path is None:
+            raise SimulationError("no trace blob for cache entry %s" % key)
+        codec = _blob_codec(path)
+        if codec is None or not mmap:
+            return load_trace_blob(path, mmap=mmap)
+        with open(path, "rb") as fh:
+            raw = decompress_blob(fh.read(), codec)
+        plain = path[: -len(CODEC_SUFFIXES[codec])] + TRACE_BLOB_SUFFIX
+        self._atomic_write(plain, raw)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass  # a concurrent rehydrator got there first
+        return load_trace_blob(plain, mmap=True)
+
+    def _load_disk(self, key: str) -> Optional[RunResult]:
+        path = self._find_summary(key)
+        if path is None:
+            return None
         try:
             with open(path, "rb") as fh:
                 blob = fh.read()
@@ -296,7 +580,7 @@ class ResultCache:
         try:
             payload = json.loads(blob.decode("utf-8"))
             if payload.get("artifact") == ARTIFACT_FORMAT:
-                data = load_trace_blob(self._blob_path(key), mmap=self.mmap)
+                data = self._read_trace(key, mmap=self.mmap)
                 result = summary_to_result(payload, data)
             else:
                 # v1 entry: whole trace inline as JSON rows
@@ -337,7 +621,9 @@ class ResultCache:
                 # memory-layer hits must keep the disk entry warm too, or
                 # a long-lived process would let prune() evict its hottest
                 # keys by their stale first-read stamp
-                self._touch(self._path(key))
+                path = self._find_summary(key)
+                if path is not None:
+                    self._touch(path)
             return memo
         result = self._load_disk(key)  # file I/O stays outside the lock
         with self._lock:
@@ -363,18 +649,45 @@ class ResultCache:
                 pass
             raise
 
+    def _ensure_marker(self) -> None:
+        """Record a depth-2 write layout once per instance (best effort)."""
+        with self._lock:
+            if self._marker_written:
+                return
+            self._marker_written = True
+        if self.root is not None and self.depth == 2:
+            try:
+                _write_layout_marker(self.root, self.depth)
+            except OSError:
+                pass
+
     def put(self, key: str, result: RunResult) -> None:
         """Store a result under its content key (v2 artifact layout)."""
         with self._lock:
             if self._memory is not None:
                 self._memory[key] = result
         if self.root is not None:
+            self._ensure_marker()
             path = self._path(key)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             # trace blob first, summary JSON last: the summary is the
             # commit point, so readers never see a summary without a blob
-            self._atomic_write(self._blob_path(key), trace_blob_bytes(result))
+            blob = trace_blob_bytes(result)
+            if self.compress is not None:
+                blob = compress_blob(blob, self.compress)
+            self._atomic_write(self._blob_path(key), blob)
             self._atomic_write(path, payload_bytes(result_to_summary(result)))
+            # a re-put under a different codec leaves the old variant
+            # behind; drop it so the entry has exactly one blob
+            keep = os.path.basename(self._blob_path(key))
+            for suffix in BLOB_SUFFIXES:
+                name = key + suffix
+                if name == keep:
+                    continue
+                try:
+                    os.unlink(os.path.join(os.path.dirname(path), name))
+                except OSError:
+                    pass
         with self._lock:
             self.stats.stores += 1
 
@@ -394,7 +707,13 @@ class ResultCache:
         """Every key with an on-disk summary, in deterministic order."""
         if self.root is None or not os.path.isdir(self.root):
             return []
-        return [key for key, _, _ in _iter_entries(self.root)]
+        seen = set()
+        out: List[str] = []
+        for key, _, _ in _iter_entries(self.root):
+            if key not in seen:  # mid-migration stores list a key twice
+                seen.add(key)
+                out.append(key)
+        return out
 
     def load_summary(self, key: str) -> Optional[dict]:
         """One entry's summary payload, without touching its trace blob.
@@ -407,10 +726,11 @@ class ResultCache:
         directory are bulk reads and must not reorder the eviction queue
         wholesale.
         """
-        if self.root is None:
+        path = self._find_summary(key)
+        if path is None:
             return None
         try:
-            with open(self._path(key), "rb") as fh:
+            with open(path, "rb") as fh:
                 return json.loads(fh.read().decode("utf-8"))
         except (OSError, ValueError):
             return None
@@ -422,11 +742,97 @@ class ResultCache:
             if payload is not None:
                 yield key, payload
 
+    def indexed_summaries(self) -> List[Tuple[str, dict]]:
+        """Every ``(key, v-any summary)`` via the per-shard pack index.
+
+        The bulk twin of :meth:`iter_summaries`: per top-level shard, a
+        pack file under ``<root>/.index/`` holds every v2 summary
+        payload and is validated against the shard directories' mtimes
+        (entry writes and evictions replace/unlink files, which bumps
+        the directory mtime; LRU ``utime`` stamps touch only files, so
+        reads never invalidate packs).  Stale or missing packs are
+        rebuilt from the shard and persisted best-effort, so the first
+        open after a write pays one shard scan and every later open is a
+        single JSON read.  v1 entries are listed in the pack but read
+        directly (their payloads inline whole traces -- packing them
+        would bloat the index).  Pairs come back sorted by key: the
+        exact order :meth:`keys` walks.
+        """
+        if self.root is None or not os.path.isdir(self.root):
+            return []
+        out: List[Tuple[str, dict]] = []
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if _skip_dir(shard) or not os.path.isdir(shard_dir):
+                continue
+            pack = _load_shard_pack(self.root, shard)
+            if pack is None:
+                pack, frame = _build_shard_index(self.root, shard)
+                _persist_shard_index(self.root, shard, pack, frame)
+            out.extend((key, payload) for key, payload in pack["entries"])
+            for key in pack["unpacked"]:
+                payload = self.load_summary(key)
+                if payload is not None:
+                    out.append((key, payload))
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    def frame_chunks(self) -> List[Tuple[str, Any]]:
+        """Per-shard chunks feeding ``SuiteFrame.open_dir``'s fast path.
+
+        Returns ``("cols", frame)`` chunks -- the persisted columnar
+        frame of a fully-v2 shard (see :func:`_build_shard_frame`), so a
+        warm open never touches per-entry payloads at all -- and
+        ``("rows", pairs)`` chunks for shards that still need row-wise
+        extraction (v1 or malformed entries).  Chunks come back in
+        sorted shard order with keys sorted inside each chunk, which is
+        exactly the global order of :meth:`keys` because every key is
+        prefixed by its shard.
+        """
+        if self.root is None or not os.path.isdir(self.root):
+            return []
+        chunks: List[Tuple[str, Any]] = []
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if _skip_dir(shard) or not os.path.isdir(shard_dir):
+                continue
+            frame = _load_shard_frame(self.root, shard)
+            if frame is None:
+                pack = _load_shard_pack(self.root, shard)
+                if pack is None:
+                    pack, frame = _build_shard_index(self.root, shard)
+                    _persist_shard_index(self.root, shard, pack, frame)
+            if frame is not None:
+                chunks.append(("cols", frame))
+                continue
+            pairs = [(key, payload) for key, payload in pack["entries"]]
+            for key in pack["unpacked"]:
+                payload = self.load_summary(key)
+                if payload is not None:
+                    pairs.append((key, payload))
+            pairs.sort(key=lambda pair: pair[0])
+            chunks.append(("rows", pairs))
+        return chunks
+
     def trace_path(self, key: str) -> str:
-        """Path of the v2 trace blob belonging to ``key``."""
+        """Path of the *uncompressed* v2 trace blob belonging to ``key``.
+
+        Consumers stream these bytes as npz directly (e.g. the service's
+        trace endpoint), so a compressed-only entry reports the path its
+        plain blob would rehydrate to -- which then does not exist;
+        callers fall back to :meth:`get` + :func:`trace_blob_bytes`.
+        """
         if self.root is None:
             raise SimulationError("cache has no root directory")
-        return self._blob_path(key)
+        found = self._find_blob(key)
+        if found is not None and _blob_codec(found) is None:
+            return found
+        base = os.path.dirname(found) if found is not None else None
+        if base is not None:
+            return os.path.join(base, key + TRACE_BLOB_SUFFIX)
+        return os.path.join(
+            _entry_dir(self.root, key, self.depth), key + TRACE_BLOB_SUFFIX
+        )
 
     def open_trace(self, key: str, mmap: Optional[bool] = None) -> np.ndarray:
         """The trace matrix of one v2 entry (a memory map by default).
@@ -434,25 +840,307 @@ class ResultCache:
         ``mmap=None`` follows the cache's construction flag; analytics
         callers pass ``mmap=True`` so a whole suite directory opens as
         lazy views and only the pages a reduction touches are ever read.
+        Compressed blobs rehydrate on first mapped touch (see
+        :meth:`_read_trace`).
         """
-        return load_trace_blob(
-            self.trace_path(key), mmap=self.mmap if mmap is None else mmap
+        return self._read_trace(
+            key, mmap=self.mmap if mmap is None else mmap
         )
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
             if self._memory is not None and key in self._memory:
                 return True
-        return self.root is not None and os.path.exists(self._path(key))
+        return self._find_summary(key) is not None
 
     def __len__(self) -> int:
         """Number of distinct entries reachable from this cache."""
         with self._lock:
             keys = set(self._memory or ())
         if self.root is not None and os.path.isdir(self.root):
-            for _, json_path, _blob in _iter_entries(self.root):
-                keys.add(os.path.basename(json_path)[: -len(".json")])
+            for key, _json_path, _blob in _iter_entries(self.root):
+                keys.add(key)
         return len(keys)
+
+
+# ---------------------------------------------------------------------------
+# disk store walking (shared by inspection, pruning, packing, migration)
+# ---------------------------------------------------------------------------
+def _skip_dir(name: str) -> bool:
+    """Top-level directories that never hold result entries."""
+    return name == "models" or name.startswith(".")
+
+
+def _entry_dirs(root: str, shard: str) -> List[str]:
+    """Directories of one shard that may hold entries (both depths)."""
+    shard_dir = os.path.join(root, shard)
+    dirs = [shard_dir]
+    subs = []
+    try:
+        with os.scandir(shard_dir) as it:
+            for entry in it:
+                if entry.is_dir():
+                    subs.append(entry.path)
+    except OSError:
+        return dirs
+    dirs.extend(sorted(subs))
+    return dirs
+
+
+def _iter_shard_entries(
+    root: str, shard: str
+) -> Iterator[Tuple[str, str, Optional[str]]]:
+    """Yield (key, json_path, blob_path-or-None) for one shard, key order.
+
+    Walks the shard directory *and* its depth-2 subdirectories, so flat,
+    sharded and mid-migration stores all enumerate completely.  A key
+    present at both depths (an interrupted migration) yields twice --
+    content-addressed entries are identical, and consumers that need
+    distinctness (``keys()``) dedupe.
+    """
+    found: List[Tuple[str, str]] = []
+    for entry_dir in _entry_dirs(root, shard):
+        try:
+            names = os.listdir(entry_dir)
+        except OSError:
+            continue
+        for name in names:
+            if name.endswith(".json"):
+                found.append(
+                    (name[: -len(".json")], os.path.join(entry_dir, name))
+                )
+    found.sort()
+    for key, json_path in found:
+        base = os.path.dirname(json_path)
+        blob = None
+        for suffix in BLOB_SUFFIXES[::-1]:  # plain .npz probes first
+            candidate = os.path.join(base, key + suffix)
+            if os.path.exists(candidate):
+                blob = candidate
+                break
+        yield key, json_path, blob
+
+
+def _iter_entries(root: str) -> Iterator[Tuple[str, str, Optional[str]]]:
+    """Yield (key, json_path, blob_path-or-None) for every result entry."""
+    for shard in sorted(os.listdir(root)):
+        if _skip_dir(shard) or not os.path.isdir(os.path.join(root, shard)):
+            continue
+        yield from _iter_shard_entries(root, shard)
+
+
+def _iter_orphan_blobs(root: str, known: set) -> Iterator[str]:
+    """Blob paths whose summary never landed (interrupted writers)."""
+    for shard in sorted(os.listdir(root)):
+        if _skip_dir(shard) or not os.path.isdir(os.path.join(root, shard)):
+            continue
+        for entry_dir in _entry_dirs(root, shard):
+            try:
+                names = sorted(os.listdir(entry_dir))
+            except OSError:
+                continue
+            for name in names:
+                key = _blob_key(name)
+                if key is not None and key not in known:
+                    yield os.path.join(entry_dir, name)
+
+
+# ---------------------------------------------------------------------------
+# per-shard pack index (the bulk read path of indexed_summaries)
+# ---------------------------------------------------------------------------
+def _pack_path(root: str, shard: str) -> str:
+    return os.path.join(root, PACK_DIR, shard + ".json")
+
+
+def _frame_path(root: str, shard: str) -> str:
+    return os.path.join(root, PACK_DIR, shard + ".frame.json")
+
+
+def _shard_stamp(root: str, shard: str) -> Dict[str, int]:
+    """mtime_ns of every entry directory of one shard (the pack's validity).
+
+    File writes and unlinks inside a directory bump its mtime; ``utime``
+    LRU stamps on files do not.  Creating a depth-2 subdirectory bumps
+    the parent, so new subdirs invalidate through the parent stamp even
+    before their own entry appears here.
+    """
+    shard_dir = os.path.join(root, shard)
+    stamp: Dict[str, int] = {}
+    try:
+        stamp[shard] = os.stat(shard_dir).st_mtime_ns
+    except OSError:
+        return stamp
+    prefix = shard + "/"
+    try:
+        with os.scandir(shard_dir) as it:
+            for entry in it:
+                try:
+                    if entry.is_dir():
+                        stamp[prefix + entry.name] = entry.stat().st_mtime_ns
+                except OSError:
+                    continue
+    except OSError:
+        pass
+    return stamp
+
+
+def _build_shard_index(root: str, shard: str) -> Tuple[dict, Optional[dict]]:
+    """Scan one shard into (pack, frame-or-None) payloads.
+
+    The stamp is recorded *before* the scan, so a write racing the scan
+    leaves a stamp mismatch behind and the next reader rebuilds.  The
+    frame is the columnar twin of the pack -- pre-extracted
+    :func:`summary_row` columns -- and exists only when *every* entry of
+    the shard is a cleanly extractable v2 summary; shards holding v1 or
+    malformed entries fall back to row-wise reads.
+    """
+    stamp = _shard_stamp(root, shard)
+    entries: List[Tuple[str, dict]] = []
+    unpacked: List[str] = []
+    seen: set = set()
+    for key, json_path, _blob in _iter_shard_entries(root, shard):
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            with open(json_path, "rb") as fh:
+                payload = json.loads(fh.read().decode("utf-8"))
+        except (OSError, ValueError):
+            continue  # unreadable debris: the directory walk skips it too
+        if (
+            isinstance(payload, dict)
+            and payload.get("artifact") == ARTIFACT_FORMAT
+        ):
+            entries.append((key, payload))
+        else:
+            unpacked.append(key)
+    pack = {
+        "pack": PACK_FORMAT,
+        "stamp": stamp,
+        "entries": entries,
+        "unpacked": unpacked,
+    }
+    return pack, _build_shard_frame(stamp, entries, unpacked)
+
+
+#: Column names a frame file carries one flat list for, per shard.
+_FRAME_LISTS: Tuple[str, ...] = (
+    ("keys", "benchmark", "mode", "completed", "trace_col_idx")
+    + SUMMARY_FLOAT_FIELDS
+    + SUMMARY_COUNT_FIELDS
+)
+
+
+def _build_shard_frame(
+    stamp: Dict[str, int],
+    entries: List[Tuple[str, dict]],
+    unpacked: List[str],
+) -> Optional[dict]:
+    """Columnar frame payload for one fully-v2 shard, else None.
+
+    Trace column lists repeat across a suite, so rows store an index
+    into a small table of distinct lists instead of the lists
+    themselves.
+    """
+    if unpacked:
+        return None
+    frame: Dict[str, Any] = {name: [] for name in _FRAME_LISTS}
+    frame["frame"] = FRAME_FORMAT
+    frame["stamp"] = stamp
+    frame["trace_columns"] = []
+    col_tables: Dict[Tuple[str, ...], int] = {}
+    for key, payload in entries:
+        row = summary_row(payload)
+        if row is None:
+            return None
+        floats, counts, benchmark, mode, completed, columns = row
+        signature = tuple(columns)
+        idx = col_tables.get(signature)
+        if idx is None:
+            idx = len(frame["trace_columns"])
+            col_tables[signature] = idx
+            frame["trace_columns"].append(columns)
+        frame["keys"].append(key)
+        frame["benchmark"].append(benchmark)
+        frame["mode"].append(mode)
+        frame["completed"].append(completed)
+        frame["trace_col_idx"].append(idx)
+        for name, value in zip(SUMMARY_FLOAT_FIELDS, floats):
+            frame[name].append(value)
+        for name, value in zip(SUMMARY_COUNT_FIELDS, counts):
+            frame[name].append(value)
+    return frame
+
+
+def _load_shard_pack(root: str, shard: str) -> Optional[dict]:
+    """A still-valid persisted pack for one shard, or None."""
+    try:
+        with open(_pack_path(root, shard), "rb") as fh:
+            pack = json.loads(fh.read().decode("utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(pack, dict) or pack.get("pack") != PACK_FORMAT:
+        return None
+    if pack.get("stamp") != _shard_stamp(root, shard):
+        return None  # something was written/evicted since: rebuild
+    entries = pack.get("entries")
+    unpacked = pack.get("unpacked")
+    if not isinstance(entries, list) or not isinstance(unpacked, list):
+        return None
+    return pack
+
+
+def _load_shard_frame(root: str, shard: str) -> Optional[dict]:
+    """A still-valid persisted columnar frame for one shard, or None."""
+    try:
+        with open(_frame_path(root, shard), "rb") as fh:
+            frame = json.loads(fh.read().decode("utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(frame, dict) or frame.get("frame") != FRAME_FORMAT:
+        return None
+    if frame.get("stamp") != _shard_stamp(root, shard):
+        return None  # something was written/evicted since: rebuild
+    lists = [frame.get(name) for name in _FRAME_LISTS]
+    if any(not isinstance(col, list) for col in lists):
+        return None
+    if len({len(col) for col in lists}) > 1:
+        return None  # ragged columns: rebuild from the shard
+    tables = frame.get("trace_columns")
+    if not isinstance(tables, list) or not all(
+        isinstance(cols, list) for cols in tables
+    ):
+        return None
+    idx = frame["trace_col_idx"]
+    if idx and not all(
+        isinstance(i, int) and 0 <= i < len(tables) for i in idx
+    ):
+        return None
+    return frame
+
+
+def _persist_shard_index(
+    root: str, shard: str, pack: dict, frame: Optional[dict]
+) -> None:
+    """Write one shard's index files (best effort -- read-only stores
+    just rescan).  A shard that no longer qualifies for a columnar
+    frame drops its stale frame file."""
+    try:
+        os.makedirs(os.path.join(root, PACK_DIR), exist_ok=True)
+        ResultCache._atomic_write(
+            _pack_path(root, shard), payload_bytes(pack)
+        )
+        if frame is not None:
+            ResultCache._atomic_write(
+                _frame_path(root, shard), payload_bytes(frame)
+            )
+        else:
+            try:
+                os.unlink(_frame_path(root, shard))
+            except FileNotFoundError:
+                pass
+    except OSError:
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -467,6 +1155,7 @@ class DiskUsage:
     v2_entries: int = 0
     result_bytes: int = 0
     blob_bytes: int = 0
+    compressed_blobs: int = 0
     model_entries: int = 0
     model_bytes: int = 0
     orphan_blobs: int = 0
@@ -481,7 +1170,7 @@ class DiskUsage:
         return self.result_bytes + self.blob_bytes + self.model_bytes
 
     def summary(self) -> str:
-        return (
+        text = (
             "%d results (%d v1 json, %d v2 json+npz), %d models, "
             "%.1f MiB total (%.1f MiB trace blobs)"
             % (
@@ -493,22 +1182,9 @@ class DiskUsage:
                 self.blob_bytes / 2**20,
             )
         )
-
-
-def _iter_entries(root: str) -> Iterator[Tuple[str, str, Optional[str]]]:
-    """Yield (key, json_path, blob_path-or-None) for every result entry."""
-    for shard in sorted(os.listdir(root)):
-        shard_dir = os.path.join(root, shard)
-        if shard == "models" or not os.path.isdir(shard_dir):
-            continue
-        for name in sorted(os.listdir(shard_dir)):
-            if not name.endswith(".json"):
-                continue
-            key = name[: -len(".json")]
-            blob = os.path.join(shard_dir, key + TRACE_BLOB_SUFFIX)
-            yield key, os.path.join(shard_dir, name), (
-                blob if os.path.exists(blob) else None
-            )
+        if self.compressed_blobs:
+            text += ", %d blob(s) compressed" % self.compressed_blobs
+        return text
 
 
 def disk_usage(root: str) -> DiskUsage:
@@ -526,20 +1202,12 @@ def disk_usage(root: str) -> DiskUsage:
         if blob_path is not None:
             usage.v2_entries += 1
             usage.blob_bytes += os.path.getsize(blob_path)
+            if _blob_codec(blob_path) is not None:
+                usage.compressed_blobs += 1
     # blobs whose summary never landed (interrupted writers)
-    for shard in sorted(os.listdir(root)):
-        shard_dir = os.path.join(root, shard)
-        if shard == "models" or not os.path.isdir(shard_dir):
-            continue
-        for name in sorted(os.listdir(shard_dir)):
-            if (
-                name.endswith(TRACE_BLOB_SUFFIX)
-                and name[: -len(TRACE_BLOB_SUFFIX)] not in json_names
-            ):
-                usage.orphan_blobs += 1
-                usage.blob_bytes += os.path.getsize(
-                    os.path.join(shard_dir, name)
-                )
+    for path in _iter_orphan_blobs(root, json_names):
+        usage.orphan_blobs += 1
+        usage.blob_bytes += os.path.getsize(path)
     models_dir = os.path.join(root, "models")
     if os.path.isdir(models_dir):
         for name in sorted(os.listdir(models_dir)):
@@ -600,25 +1268,16 @@ def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
     # interrupted writers leave blobs without a summary: collect the stale
     # ones (recent ones may still get their summary -- see put())
     now = time.time()
-    for shard in sorted(os.listdir(root)):
-        shard_dir = os.path.join(root, shard)
-        if shard == "models" or not os.path.isdir(shard_dir):
-            continue
-        for name in sorted(os.listdir(shard_dir)):
-            if (
-                name.endswith(TRACE_BLOB_SUFFIX)
-                and name[: -len(TRACE_BLOB_SUFFIX)] not in known
-            ):
-                path = os.path.join(shard_dir, name)
-                try:
-                    if now - os.path.getmtime(path) < ORPHAN_GRACE_S:
-                        continue
-                    blob_size = os.path.getsize(path)
-                    os.unlink(path)
-                except OSError:
-                    continue  # a writer committed or removed it meanwhile
-                freed += blob_size
-                removed += 1
+    for path in _iter_orphan_blobs(root, known):
+        try:
+            if now - os.path.getmtime(path) < ORPHAN_GRACE_S:
+                continue
+            blob_size = os.path.getsize(path)
+            os.unlink(path)
+        except OSError:
+            continue  # a writer committed or removed it meanwhile
+        freed += blob_size
+        removed += 1
     total = sum(size for _, size, _, _ in entries)
     budget = -1 if max_bytes is None else max_bytes
     for mtime, size, json_path, blob_path in sorted(entries):
@@ -648,3 +1307,146 @@ def prune(root: str, max_bytes: Optional[int]) -> Tuple[int, int]:
         # an undeletable entry keeps its footprint counted, so the walk
         # continues into newer entries until the budget is really met
     return removed, freed
+
+
+# ---------------------------------------------------------------------------
+# in-place store migration (the `repro-dtpm cache migrate` subcommand)
+# ---------------------------------------------------------------------------
+@dataclass
+class MigrateStats:
+    """What one :func:`migrate` pass did."""
+
+    examined: int = 0
+    moved: int = 0
+    recompressed: int = 0
+    cleaned: int = 0
+
+    def summary(self) -> str:
+        return (
+            "%d entries examined: %d relocated, %d blobs transcoded, "
+            "%d leftover copies cleaned"
+            % (self.examined, self.moved, self.recompressed, self.cleaned)
+        )
+
+
+def migrate(
+    root: str,
+    fanout: int = 2,
+    compress: Optional[str] = None,
+) -> MigrateStats:
+    """Reshard (and optionally transcode) a result store in place.
+
+    Every entry not already at the target depth/codec is *copied* to its
+    target location first (blob, then summary -- the summary is the
+    commit point there just like :meth:`ResultCache.put`) and only then
+    are the old copies unlinked (old summary first, so the store never
+    holds two committed variants longer than necessary, and an
+    interrupted pass never leaves a summary-less target).  Readers probe
+    both depths throughout, so a live store stays fully readable
+    mid-migration, and the pass is **idempotent**: re-running after an
+    interruption finds entries already at the target and only finishes
+    the pending unlinks.
+
+    ``compress`` transcodes trace blobs on the way: ``"deflate"`` /
+    ``"zstd"`` to that codec, ``"none"`` to plain npz, ``None`` (the
+    default) keeps each blob's current encoding.  The layout marker is
+    written last, so new writers only adopt the target depth once the
+    data is actually there.
+    """
+    root = os.path.abspath(os.path.expanduser(root))
+    if fanout not in (1, 2):
+        raise ConfigurationError(
+            "fanout must be 1 (flat) or 2 (sharded), got %r" % (fanout,)
+        )
+    target_codec: Optional[str] = None
+    if compress is not None and compress != "none":
+        _check_codec(compress)
+        target_codec = compress
+    stats = MigrateStats()
+    if not os.path.isdir(root):
+        return stats
+    # group every on-disk copy by key (a prior interruption may have left
+    # an entry at both depths)
+    copies: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+    for key, json_path, blob_path in _iter_entries(root):
+        copies.setdefault(key, []).append((json_path, blob_path))
+    for key in sorted(copies):
+        stats.examined += 1
+        target_dir = _entry_dir(root, key, fanout)
+        target_json = os.path.join(target_dir, key + ".json")
+        blob_suffix = (
+            CODEC_SUFFIXES[target_codec]
+            if target_codec is not None
+            else TRACE_BLOB_SUFFIX
+        )
+        # source blob: prefer one already in the target codec
+        source_blob: Optional[str] = None
+        for _json, blob in copies[key]:
+            if blob is None:
+                continue
+            if source_blob is None or _blob_codec(blob) == target_codec:
+                source_blob = blob
+        target_blob: Optional[str] = None
+        if source_blob is not None:
+            if compress is None:
+                # keep the source encoding; only the location moves
+                suffix = os.path.basename(source_blob)[len(key):]
+            else:
+                suffix = blob_suffix
+            target_blob = os.path.join(target_dir, key + suffix)
+        moved = False
+        # 1. blob into place (decode/re-encode when the codec changes)
+        if target_blob is not None and not os.path.exists(target_blob):
+            assert source_blob is not None
+            with open(source_blob, "rb") as fh:
+                raw = fh.read()
+            source_codec = _blob_codec(source_blob)
+            wanted = _blob_codec(target_blob)
+            if source_codec != wanted:
+                if source_codec is not None:
+                    raw = decompress_blob(raw, source_codec)
+                if wanted is not None:
+                    raw = compress_blob(raw, wanted)
+                stats.recompressed += 1
+            os.makedirs(target_dir, exist_ok=True)
+            ResultCache._atomic_write(target_blob, raw)
+            moved = True
+        # 2. summary into place (the commit point of the new location)
+        if not os.path.exists(target_json):
+            source_json = copies[key][0][0]
+            with open(source_json, "rb") as fh:
+                payload = fh.read()
+            os.makedirs(target_dir, exist_ok=True)
+            ResultCache._atomic_write(target_json, payload)
+            moved = True
+        if moved:
+            stats.moved += 1
+        # 3. drop every non-target copy: summaries first (readers fall
+        # back to the committed target), then blobs
+        for json_path, _blob in copies[key]:
+            if os.path.abspath(json_path) == os.path.abspath(target_json):
+                continue
+            try:
+                os.unlink(json_path)
+                stats.cleaned += 1
+            except OSError:
+                pass
+        for _json, blob in copies[key]:
+            if blob is None:
+                continue
+            if target_blob is not None and (
+                os.path.abspath(blob) == os.path.abspath(target_blob)
+            ):
+                continue
+            try:
+                os.unlink(blob)
+                stats.cleaned += 1
+            except OSError:
+                pass
+        # stray blob variants next to the target (e.g. a codec change
+        # re-running over a finished pass) are orphan-collected by prune
+    try:
+        _write_layout_marker(root, fanout)
+    except OSError:
+        pass
+    return stats

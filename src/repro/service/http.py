@@ -82,6 +82,10 @@ class EvaluationService:
         Background job worker threads (cold-path concurrency).
     batch:
         Lock-step batch width inside each job (``$REPRO_BATCH`` default).
+    dispatch:
+        Optional ``"host:port,..."`` list of remote ``repro-dtpm worker``
+        processes; jobs then execute their batches there
+        (:mod:`repro.distributed`) with byte-identical results.
     """
 
     def __init__(
@@ -92,6 +96,7 @@ class EvaluationService:
         port: int = 0,
         workers: int = 2,
         batch: Optional[int] = None,
+        dispatch: Optional[str] = None,
         verbose: bool = False,
     ) -> None:
         if cache is None:
@@ -106,6 +111,7 @@ class EvaluationService:
             else partial(cached_build_models, root=cache.root),
             workers=workers,
             batch=batch,
+            dispatch=dispatch,
         )
         self._memo_lock = threading.Lock()
         self._warm_memo: Dict[bytes, bytes] = {}  # guarded-by: _memo_lock
@@ -404,6 +410,7 @@ def serve(
     workers: int = 2,
     batch: Optional[int] = None,
     models: Optional[ModelBundle] = None,
+    dispatch: Optional[str] = None,
     verbose: bool = True,
 ) -> int:
     """Run the service in the foreground (the ``repro-dtpm serve`` body).
@@ -416,7 +423,7 @@ def serve(
     )
     service = EvaluationService(
         cache=cache, models=models, host=host, port=port,
-        workers=workers, batch=batch, verbose=verbose,
+        workers=workers, batch=batch, dispatch=dispatch, verbose=verbose,
     )
     where = (
         "in-memory only (no --cache-dir; results do not persist)"
@@ -426,6 +433,8 @@ def serve(
     print("repro-dtpm evaluation service on %s" % service.url)
     print("  cache: %s" % where)
     print("  workers: %d, batch: %d" % (workers, service.jobs.batch))
+    if dispatch:
+        print("  dispatch: %s" % dispatch)
     try:
         service.serve_forever()
     except KeyboardInterrupt:

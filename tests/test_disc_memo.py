@@ -1,0 +1,95 @@
+"""The process-wide discretisation memo shared by physics-equal networks."""
+
+import numpy as np
+import pytest
+
+import repro.thermal.rc_network as rc
+from repro.thermal.rc_network import (
+    ThermalNode,
+    ThermalRCNetwork,
+    clear_shared_disc_cache,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_shared_disc_cache()
+    yield
+    clear_shared_disc_cache()
+
+
+def _network(ambient_k=300.0, sink_c=10.0):
+    nodes = [
+        ThermalNode("chip", 1.0),
+        ThermalNode("sink", sink_c, g_ambient_w_per_k=0.1, cooled=True),
+    ]
+    return ThermalRCNetwork(
+        nodes, [("chip", "sink", 0.5)], ambient_k=ambient_k
+    )
+
+
+@pytest.fixture
+def counted_expm(monkeypatch):
+    calls = []
+    real = rc.expm
+
+    def counting(matrix):
+        calls.append(1)
+        return real(matrix)
+
+    monkeypatch.setattr(rc, "expm", counting)
+    return calls
+
+
+def test_physics_equal_instances_share_discretisations(counted_expm):
+    gains = np.array([1.0, 2.5, 1.0])
+    first = _network()
+    a1, b1 = first.discretise_stack(0.05, gains)
+    paid = len(counted_expm)
+    assert paid == 2  # one expm per unique gain, lanes deduped
+
+    second = _network()
+    assert second.physics_equal(first)
+    a2, b2 = second.discretise_stack(0.05, gains)
+    assert len(counted_expm) == paid  # zero new expm: served by the memo
+    assert np.array_equal(a1, a2)
+    assert np.array_equal(b1, b2)
+
+
+def test_different_physics_never_share(counted_expm):
+    _network().discretise_stack(0.05, np.array([1.0]))
+    paid = len(counted_expm)
+    _network(sink_c=11.0).discretise_stack(0.05, np.array([1.0]))
+    assert len(counted_expm) == paid + 1  # different physics recomputes
+
+
+def test_memo_results_match_direct_computation(counted_expm):
+    net = _network()
+    direct_a, direct_b = net.discretise_stack(0.05, np.array([1.3]))
+    clone = _network()
+    memo_a, memo_b = clone.discretise_stack(0.05, np.array([1.3]))
+    assert np.array_equal(direct_a, memo_a)
+    assert np.array_equal(direct_b, memo_b)
+    # stepping through the memo'd matrices is bit-identical too
+    t = np.array([[310.0, 305.0]])
+    p = np.array([[2.0, 0.0]])
+    g = np.array([1.3])
+    assert np.array_equal(
+        net.step_batch(t, p, 0.05, g), clone.step_batch(t, p, 0.05, g)
+    )
+
+
+def test_gather_copies_protect_the_memo(counted_expm):
+    net = _network()
+    a, _ = net.discretise_stack(0.05, np.array([1.0]))
+    a[0, 0, 0] = 1e9  # mutating the gathered stack must not poison anyone
+    clone = _network()
+    a2, _ = clone.discretise_stack(0.05, np.array([1.0]))
+    assert a2[0, 0, 0] != 1e9
+
+
+def test_shared_memo_is_bounded():
+    net = _network()
+    for i in range(rc.SHARED_DISC_CACHE_SIZE + 5):
+        net._discretise(0.05, 1.0 + i * 1e-3)
+    assert len(rc._SHARED_DISC_CACHE) == rc.SHARED_DISC_CACHE_SIZE
